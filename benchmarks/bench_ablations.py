@@ -1,0 +1,91 @@
+"""Ablations: the design-choice studies DESIGN.md calls out.
+
+- selection cost model (paper Eq. 23 vs actuation-aware vs ground-truth
+  oracle);
+- knob isolation (AC control alone, consolidation alone, both);
+- rack thermal diversity (the paper's "larger spatial diversity gives
+  rise to more opportunities for optimization" expectation).
+"""
+
+from repro.analysis.series import format_table
+from repro.experiments.ablations import (
+    run_cost_model_ablation,
+    run_diversity_sweep,
+    run_knob_isolation,
+    run_noise_robustness,
+)
+
+
+def test_cost_model_ablation(benchmark, emit, context):
+    result = benchmark.pedantic(
+        run_cost_model_ablation, args=(context,), rounds=1, iterations=1
+    )
+    emit("ablation_cost_model", result.table())
+    # Neither refinement should lose to the paper's own cost model by
+    # more than a whisker, and the paper model must stay near the oracle
+    # (its decisions are near-optimal on the real system).
+    assert result.paper_avg_watts <= 1.02 * result.oracle_avg_watts
+
+
+def test_knob_isolation(benchmark, emit, context):
+    result = benchmark.pedantic(
+        run_knob_isolation, args=(context,), rounds=1, iterations=1
+    )
+    emit("ablation_knobs", result.table())
+    assert result.both_percent > result.ac_control_only_percent
+    assert result.both_percent > result.consolidation_only_percent
+
+
+def test_noise_robustness(benchmark, emit):
+    points = benchmark.pedantic(
+        run_noise_robustness, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            f"{p.noise_scale:.1f}",
+            f"{p.avg_savings_percent:.1f}",
+            str(p.violations),
+            f"{max(0.0, p.worst_overshoot_kelvin):.2f}",
+        ]
+        for p in points
+    ]
+    emit(
+        "ablation_noise",
+        format_table(
+            [
+                "sensor noise x",
+                "avg #8 vs #7 savings (%)",
+                "T_max violations",
+                "worst overshoot (K)",
+            ],
+            rows,
+            title="Profiling-robustness ablation: savings vs sensor noise",
+        ),
+    )
+    # The method must stay safe and profitable under heavy sensor noise.
+    assert all(p.violations == 0 for p in points)
+    assert all(p.avg_savings_percent > 5.0 for p in points)
+
+
+def test_diversity_sweep(benchmark, emit):
+    points = benchmark.pedantic(
+        run_diversity_sweep, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            f"{p.top_fraction:.2f}",
+            f"{p.spread:.2f}",
+            f"{p.avg_savings_percent:.1f}",
+        ]
+        for p in points
+    ]
+    emit(
+        "ablation_diversity",
+        format_table(
+            ["top supply fraction", "spread", "avg #8 vs #7 savings (%)"],
+            rows,
+            title="Diversity ablation: savings vs rack thermal spread",
+        ),
+    )
+    # More spatial diversity should not reduce the optimal method's edge.
+    assert points[-1].avg_savings_percent >= points[0].avg_savings_percent - 1.0

@@ -1,0 +1,56 @@
+"""Section III-B algorithms: optimality, pre-processing and query scaling.
+
+Regenerates the algorithm study (heuristic failures, brute-force
+agreement, event/status counts) and times the three complexity claims:
+
+- Algorithm 1 pre-processing at testbed scale (n = 20);
+- Algorithm 2 online query (paper: O(log n));
+- the closed-form solution for a fixed ON set (paper: linear in n).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.closed_form import solve_closed_form
+from repro.core.consolidation import ConsolidationIndex
+from repro.experiments.algorithms import random_instance, run_algorithm_study
+from repro.testbed.synthetic import make_system_model
+
+
+def test_algorithm_study(benchmark, emit):
+    result = benchmark.pedantic(
+        run_algorithm_study, kwargs={"seed": 7}, rounds=1, iterations=1
+    )
+    emit("algorithms", result.table())
+    assert result.paper_example_ratio_sort_fails
+    assert result.agreement.index_matches_brute == result.agreement.instances
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_algorithm1_preprocessing_scaling(benchmark, n):
+    rng = np.random.default_rng(n)
+    pairs = random_instance(rng, n)
+    benchmark(lambda: ConsolidationIndex(pairs, w2=38.0, rho=9000.0))
+
+
+def test_algorithm2_online_query(benchmark):
+    rng = np.random.default_rng(0)
+    pairs = random_instance(rng, 20)
+    index = ConsolidationIndex(pairs, w2=38.0, rho=9000.0)
+    load = 0.4 * sum(a for a, _ in pairs)
+    benchmark(index.query, load)
+
+
+def test_refined_query(benchmark):
+    rng = np.random.default_rng(0)
+    pairs = random_instance(rng, 20)
+    index = ConsolidationIndex(pairs, w2=38.0, rho=9000.0)
+    load = 0.4 * sum(a for a, _ in pairs)
+    benchmark(index.query_refined, load)
+
+
+@pytest.mark.parametrize("n", [5, 20, 80])
+def test_closed_form_linear_complexity(benchmark, n):
+    model = make_system_model(n=n)
+    load = 0.6 * model.total_capacity
+    benchmark(solve_closed_form, model, list(range(n)), load)

@@ -1,0 +1,11 @@
+"""Fig. 10: average power of all methods over the load axis."""
+
+from repro.experiments.fig10_average_power import run_fig10
+
+
+def test_fig10_average_power(benchmark, emit, context):
+    result = benchmark.pedantic(
+        run_fig10, args=(context,), rounds=3, iterations=1
+    )
+    emit("fig10", result.table())
+    assert result.ranking()[0][0].startswith("#8")

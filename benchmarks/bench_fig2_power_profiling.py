@@ -1,0 +1,17 @@
+"""Fig. 2: measured vs predicted power consumption.
+
+Regenerates the power-profiling staircase (0/10/25/50/75% load, 15 min
+per level, 1 Hz meter) and times the regression step that turns the
+smoothed trace into the Eq. 9 coefficients.
+"""
+
+from repro.experiments.fig2_power_profiling import run_fig2
+from repro.profiling.regression import fit_power_model
+
+
+def test_fig2_power_profiling(benchmark, emit, context):
+    result = run_fig2(context)
+    emit("fig2", result.table())
+    assert result.r_squared > 0.999
+    trace = result.trace
+    benchmark(fit_power_model, trace.load, trace.filtered)

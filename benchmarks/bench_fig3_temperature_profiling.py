@@ -1,0 +1,21 @@
+"""Fig. 3: stable CPU temperature, prediction vs measurement.
+
+Regenerates the per-machine thermal sweep and times the Eq. 8 regression
+for one machine.
+"""
+
+from repro.experiments.fig3_temperature_profiling import run_fig3
+from repro.profiling.regression import fit_node_coefficients
+
+
+def test_fig3_temperature_profiling(benchmark, emit, context):
+    result = run_fig3(context, machine=10)
+    emit("fig3", result.table())
+    assert result.max_error_kelvin < 1.5
+    trace = result.trace
+    benchmark(
+        fit_node_coefficients,
+        trace.t_ac,
+        trace.power,
+        trace.measured_t_cpu,
+    )

@@ -1,0 +1,35 @@
+"""Fig. 4: the eight evaluation scenarios.
+
+The figure is the scenario matrix itself; this bench regenerates it from
+the policy layer and times one full policy decision (the per-load work
+each scenario performs during the evaluation sweeps).
+"""
+
+from repro.analysis.series import format_table
+from repro.core.policies import paper_scenarios, scenario_by_number
+
+
+def regenerate_fig4() -> str:
+    rows = [
+        [
+            f"#{s.number}",
+            s.distribution.replace("_", "-"),
+            "yes" if s.ac_control else "no",
+            "yes" if s.consolidation else "no",
+        ]
+        for s in paper_scenarios()
+    ]
+    return format_table(
+        ["method", "distribution", "AC control", "consolidation"],
+        rows,
+        title="Fig. 4: the eight evaluation scenarios",
+    )
+
+
+def test_fig4_scenarios(benchmark, emit, context):
+    emit("fig4", regenerate_fig4())
+    scenario = scenario_by_number(8)
+    load = 0.5 * context.testbed.total_capacity
+    benchmark(
+        scenario.decide, context.model, load, context.optimizer
+    )

@@ -1,0 +1,17 @@
+"""Fig. 5: methods with and without consolidation.
+
+Regenerates the (#2,#3), (#5,#7), (#6,#8) comparison across the load
+axis; the timed unit is one full pair sweep evaluation.
+"""
+
+from repro.experiments.fig5_consolidation_effect import run_fig5
+
+
+def test_fig5_consolidation_effect(benchmark, emit, context):
+    result = benchmark.pedantic(
+        run_fig5, args=(context,), rounds=3, iterations=1
+    )
+    emit("fig5", result.table())
+    assert all(
+        s > 0.0 for s in result.pair_low_load_savings_percent.values()
+    )

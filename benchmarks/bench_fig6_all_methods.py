@@ -1,0 +1,14 @@
+"""Fig. 6: power consumption of all eight methods vs total load."""
+
+from repro.experiments.fig6_all_methods import run_fig6
+
+
+def test_fig6_all_methods(benchmark, emit, context):
+    result = benchmark.pedantic(
+        run_fig6, args=(context,), rounds=3, iterations=1
+    )
+    emit("fig6", result.table())
+    # The full solution wins at every partial load.
+    for x, winner in zip(result.series.x, result.winner_per_load):
+        if x < 99.0:
+            assert winner.startswith("#8") or winner.startswith("#6")

@@ -1,0 +1,11 @@
+"""Fig. 7: load-distribution strategies without consolidation (#4/#5/#6)."""
+
+from repro.experiments.fig7_no_consolidation import run_fig7
+
+
+def test_fig7_no_consolidation(benchmark, emit, context):
+    result = benchmark.pedantic(
+        run_fig7, args=(context,), rounds=3, iterations=1
+    )
+    emit("fig7", result.table())
+    assert result.optimal_vs_bottom_up_avg_percent > 0.0

@@ -1,0 +1,12 @@
+"""Fig. 8: load-distribution strategies with consolidation (#7/#8)."""
+
+from repro.experiments.fig8_with_consolidation import run_fig8
+
+
+def test_fig8_with_consolidation(benchmark, emit, context):
+    result = benchmark.pedantic(
+        run_fig8, args=(context,), rounds=3, iterations=1
+    )
+    emit("fig8", result.table())
+    # Paper: "5% saving in total energy consumption is possible".
+    assert max(result.optimal_vs_bottom_up_per_load) >= 5.0

@@ -1,0 +1,11 @@
+"""Fig. 9: bottom-up (#7, cool job allocation) vs optimal (#8)."""
+
+from repro.experiments.fig9_bottomup_vs_optimal import run_fig9
+
+
+def test_fig9_bottomup_vs_optimal(benchmark, emit, context):
+    result = benchmark.pedantic(
+        run_fig9, args=(context,), rounds=3, iterations=1
+    )
+    emit("fig9", result.table())
+    assert result.savings.average_savings_percent > 4.0

@@ -1,0 +1,20 @@
+"""Headline claims: savings band, constraint satisfaction, dominance.
+
+Paper: "our solution saves 7% of the total energy consumption on average
+over all load scenarios and is able to save up to 18% in the best case
+compared to the next best baseline, method #7"; temperature and
+throughput constraints are never violated.
+"""
+
+from repro.experiments.headline import run_headline
+
+
+def test_headline_savings(benchmark, emit, context):
+    result = benchmark.pedantic(
+        run_headline, args=(context,), rounds=3, iterations=1
+    )
+    emit("headline", result.table())
+    assert result.optimal_wins_everywhere
+    assert not result.any_temperature_violation
+    assert result.vs_next_best.average_savings_percent >= 5.0
+    assert result.vs_next_best.best_savings_percent >= 15.0

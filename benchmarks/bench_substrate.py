@@ -1,0 +1,73 @@
+"""Substrate micro-benchmarks: the hot paths under the evaluation.
+
+Not a paper figure — these keep the simulator and workload engine
+honest: one steady-state solve, one transient step, one balancer
+dispatch, one profiling campaign.  Regressions here multiply into every
+experiment above.
+"""
+
+import numpy as np
+import pytest
+
+from repro.testbed.rack import TestbedConfig, build_testbed
+from repro.workload.balancer import Allocation, LoadBalancer
+from repro.workload.tasks import Task
+
+
+@pytest.fixture(scope="module")
+def fresh_testbed():
+    return build_testbed(seed=77)
+
+
+def test_steady_state_solve(benchmark, fresh_testbed):
+    sim = fresh_testbed.simulation
+    powers = np.full(20, 80.0)
+    benchmark(
+        sim.steady_state, powers, [True] * 20, 297.15
+    )
+
+
+def test_transient_step(benchmark, fresh_testbed):
+    sim = fresh_testbed.simulation
+    sim.set_node_powers(np.full(20, 80.0))
+    sim.set_set_point(297.15)
+    benchmark(sim.step, 0.5)
+
+
+def test_balancer_dispatch(benchmark, fresh_testbed):
+    cluster = fresh_testbed.build_cluster()
+    balancer = LoadBalancer(cluster)
+    rng = np.random.default_rng(0)
+    balancer.set_allocation(
+        Allocation.build(
+            list(rng.uniform(5.0, 40.0, 20)), n_servers=20
+        )
+    )
+    counter = iter(range(10**9))
+
+    def dispatch_one():
+        balancer.dispatch(
+            Task(task_id=next(counter), work=1.0, created_at=0.0)
+        )
+
+    benchmark(dispatch_one)
+
+
+def test_profiling_campaign(benchmark):
+    def profile_fresh():
+        return build_testbed(
+            TestbedConfig(n_machines=20), seed=5
+        ).profile()
+
+    result = benchmark.pedantic(profile_fresh, rounds=2, iterations=1)
+    assert result.power_report.r_squared > 0.999
+
+
+def test_zonal_steady_state(benchmark):
+    from repro.testbed.zonal_build import build_zonal_testbed
+
+    testbed = build_zonal_testbed(seed=77)
+    powers = np.full(20, 80.0)
+    benchmark(
+        testbed.simulation.steady_state, powers, [True] * 20, 297.15
+    )

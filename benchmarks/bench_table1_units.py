@@ -1,0 +1,35 @@
+"""Table I: physical variables and their units.
+
+The paper's only table is definitional — the SI conventions of the
+models.  This bench regenerates it from the package's units module (and
+times the unit-conversion hot path, which the simulator calls constantly).
+"""
+
+from repro import units
+from repro.analysis.series import format_table
+
+
+def regenerate_table1() -> str:
+    rows = [
+        ["T, T_box, T_in", "K", "(Kelvin) temperature"],
+        ["nu_cpu, nu_box", "J K^-1", "heat capacity"],
+        ["theta_cpu_box", "J K^-1 s^-1", "heat exchange rate"],
+        ["F_in, F_out", "m^3 s^-1", "air flow"],
+        [
+            "c_air",
+            "J K^-1 m^-3",
+            f"heat capacity density (= {units.C_AIR:.0f} in this package)",
+        ],
+        ["P_cpu", "J s^-1", "heat producing rate"],
+    ]
+    return format_table(
+        ["variable", "unit", "physical meaning"],
+        rows,
+        title="Table I: physical variables and their units",
+    )
+
+
+def test_table1_units(benchmark, emit):
+    emit("table1", regenerate_table1())
+    # The conversion helpers are the hot path of every sensor read.
+    benchmark(lambda: units.kelvin_to_celsius(units.celsius_to_kelvin(21.5)))

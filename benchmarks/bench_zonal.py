@@ -1,0 +1,21 @@
+"""Zonal-substrate robustness: the paper's sufficiency claim, stress-tested.
+
+Paper: "we aim to check whether a simplified model is sufficient".  On
+the default testbed the Eq. 7 structure is part of the ground truth; on
+the stratified zonal substrate it is not — inlet temperatures emerge
+from advection and mixing.  The paper's whole methodology must still
+profile, optimize, beat the cool-job-allocation baseline, and respect
+T_max.
+"""
+
+from repro.experiments.zonal_robustness import run_zonal_robustness
+
+
+def test_zonal_robustness(benchmark, emit):
+    result = benchmark.pedantic(
+        run_zonal_robustness, rounds=1, iterations=1
+    )
+    emit("zonal_robustness", result.table())
+    assert result.violations == 0
+    assert all(s > 0.0 for s in result.savings_percent())
+    assert max(result.savings_percent()) > 5.0

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one table or figure of the paper.  Besides the
+timing that pytest-benchmark records, every bench *emits* the regenerated
+rows: printed to stdout (visible with ``-s``) and written to
+``benchmarks/results/<name>.txt`` so the reproduction artifacts persist.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import EvaluationContext, default_context
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def context() -> EvaluationContext:
+    """The profiled 20-machine testbed shared by all benches."""
+    return default_context(seed=2012)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Writer for regenerated figure data."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _emit

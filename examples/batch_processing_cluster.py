@@ -1,0 +1,71 @@
+"""Full-stack run: real task traffic through the optimized cluster.
+
+The paper's workload is a text-processing application (html files in,
+word histograms out) fed by a central load balancer.  This example runs
+that pipeline end to end on the simulated testbed: the optimizer picks
+the configuration, the generator offers tasks at the target rate, the
+balancer splits them per the optimal allocation, servers process them,
+and the thermal simulation integrates the resulting heat — verifying the
+two constraints the paper checks: throughput is not affected, and no CPU
+exceeds T_max.
+
+Run:  python examples/batch_processing_cluster.py
+"""
+
+import numpy as np
+
+from repro import build_testbed, scenario_by_number
+from repro.core.optimizer import JointOptimizer
+from repro.units import kelvin_to_celsius
+from repro.workload.textproc import (
+    document_work_units,
+    generate_html_document,
+    process_document,
+)
+
+
+def show_application(rng: np.random.Generator) -> None:
+    """One document through the actual application pipeline."""
+    doc = generate_html_document(rng, doc_id=1)
+    histogram = process_document(doc)
+    top = ", ".join(
+        f"{word}:{count}" for word, count in histogram.most_common(5)
+    )
+    print(f"sample document: {doc.word_count} words "
+          f"({document_work_units(doc):.2f} work units)")
+    print(f"  top words: {top}")
+
+
+def main() -> None:
+    testbed = build_testbed(seed=11)
+    show_application(np.random.default_rng(11))
+    print("profiling ...")
+    model = testbed.profile().system_model
+    optimizer = JointOptimizer(model)
+
+    load = 0.4 * testbed.total_capacity  # 40% cluster load
+    for number in (7, 8):
+        scenario = scenario_by_number(number)
+        decision = scenario.decide(model, load, optimizer=optimizer)
+        print(f"\n{decision.scenario}: {decision.machines_on} machines on, "
+              f"set point {kelvin_to_celsius(decision.t_sp):.1f} C")
+        result = testbed.run_workload(
+            decision, duration=900.0, warmup=300.0
+        )
+        print(f"  offered load       : {result.offered_load:.1f} tasks/s")
+        print(f"  achieved throughput: {result.achieved_throughput:.1f} "
+              f"tasks/s ({100.0 * result.throughput_ratio:.1f}%)")
+        on = np.array(decision.on_ids)
+        busy = result.utilizations[on]
+        print(f"  utilization (on machines): "
+              f"min {busy.min():.2f}, max {busy.max():.2f}")
+        print(f"  mean total power   : {result.mean_total_power:.0f} W")
+        print(f"  energy over window : "
+              f"{result.total_energy_joules / 3.6e6:.2f} kWh")
+        print(f"  hottest CPU        : "
+              f"{kelvin_to_celsius(result.max_t_cpu):.1f} C "
+              f"(limit {kelvin_to_celsius(testbed.config.t_max):.0f} C)")
+
+
+if __name__ == "__main__":
+    main()

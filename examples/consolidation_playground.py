@@ -1,0 +1,60 @@
+"""Consolidation playground: the particle system made visible.
+
+Walks through the paper's Section III-B machinery on small instances:
+
+1. the Fig. 1 example — particles, events, and the order timeline;
+2. the footnote-1 counterexample where the simple heuristics fail;
+3. a profiled-rack-sized random instance, showing how the chosen ON set
+   and the cooling temperature move as the requested load grows.
+
+Run:  python examples/consolidation_playground.py
+"""
+
+import numpy as np
+
+from repro.core.consolidation import ConsolidationIndex
+from repro.core.heuristics import (
+    PAPER_COUNTEREXAMPLE,
+    greedy_heuristic,
+    ratio_sort_heuristic,
+)
+from repro.core.select import brute_force_subset, ratio, select_subset
+from repro.experiments.fig1_particle_example import run_fig1
+
+
+def main() -> None:
+    # 1. The Fig. 1 particle system.
+    print(run_fig1().table())
+
+    # 2. The heuristics' failure case (paper footnote 1).
+    print("\nfootnote-1 counterexample "
+          f"A = {list(PAPER_COUNTEREXAMPLE)}, k = 2, L = 0:")
+    k, load = 2, 0.0
+    opt, t_opt = select_subset(PAPER_COUNTEREXAMPLE, k, load)
+    srt = ratio_sort_heuristic(PAPER_COUNTEREXAMPLE, k)
+    grd = greedy_heuristic(PAPER_COUNTEREXAMPLE, k, load)
+    for name, subset in (("optimal", opt), ("ratio-sort", srt),
+                         ("greedy", grd)):
+        t = ratio(PAPER_COUNTEREXAMPLE, subset, load)
+        print(f"  {name:10s}: subset {subset}  ratio {t:.4f}")
+
+    # 3. A rack-sized random instance: ON set growth with load.
+    rng = np.random.default_rng(5)
+    a = rng.uniform(300.0, 500.0, size=12)
+    b = rng.uniform(1.5, 3.0, size=12)
+    pairs = list(zip(a.tolist(), b.tolist()))
+    w2, rho = 38.0, 9000.0
+    index = ConsolidationIndex(pairs, w2=w2, rho=rho)
+    print(f"\nrandom 12-machine instance: {index.event_count} events, "
+          f"{index.status_count} statuses")
+    print(f"  {'load':>7} {'index ON set':<32} {'brute-force ON set'}")
+    for frac in (0.1, 0.3, 0.5, 0.7, 0.9):
+        load = frac * float(np.sum(a) * 0.5)
+        chosen = index.query_refined(load)
+        brute, _ = brute_force_subset(pairs, load, w2=w2, rho=rho, theta=0.0)
+        mark = "" if chosen == brute else "   <- differs"
+        print(f"  {load:7.0f} {str(chosen):<32} {brute}{mark}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""The machine room case study: all eight policies across the load axis.
+
+Regenerates the core of the paper's Section IV-B on the simulated
+testbed: for each of the eight Fig. 4 scenarios and each load level,
+compute the policy's decision, settle the room, and compare total power.
+Prints the Fig. 6 table, the Fig. 10 ranking, and the headline savings.
+
+Run:  python examples/machine_room_case_study.py
+"""
+
+from repro.experiments.common import default_context
+from repro.experiments.fig6_all_methods import run_fig6
+from repro.experiments.fig10_average_power import run_fig10
+from repro.experiments.headline import run_headline
+
+
+def main() -> None:
+    print("building and profiling the simulated 20-machine testbed ...")
+    context = default_context(seed=2012)
+
+    fig6 = run_fig6(context)
+    print()
+    print(fig6.series.table())
+
+    print()
+    fig10 = run_fig10(context)
+    print(fig10.table())
+
+    print()
+    headline = run_headline(context)
+    print(headline.table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Model drift and online adaptation (extension beyond the paper).
+
+The paper profiles once.  Real heatsinks gather dust: the CPU-to-air
+conductance falls, every machine runs hotter per watt, and a stale model
+that still optimizes exactly to T_max starts flirting with the limit.
+This example:
+
+1. profiles the pristine room and optimizes with the fitted model;
+2. lets the room "age" (20% worse heatsinks) and shows the stale model's
+   decision eating the whole safety margin;
+3. feeds routine telemetry from the aged plant to the online RLS
+   estimators, rebuilds the model, re-optimizes — and recovers both
+   safety and the savings.
+
+Run:  python examples/model_drift_adaptation.py
+"""
+
+import numpy as np
+
+from repro import JointOptimizer, build_testbed, scenario_by_number
+from repro.core.model import SystemModel
+from repro.profiling.online import OnlineThermalEstimator
+from repro.testbed.rack import TestbedConfig
+from repro.units import kelvin_to_celsius
+
+
+def hottest(testbed, model, optimizer, load) -> tuple[float, float]:
+    decision = scenario_by_number(8).decide(model, load, optimizer=optimizer)
+    record = testbed.evaluate(decision)
+    return record.max_t_cpu, record.total_power
+
+
+def main() -> None:
+    seed = 21
+    pristine = build_testbed(seed=seed)
+    print("profiling the pristine room ...")
+    model = pristine.profile().system_model
+    optimizer = JointOptimizer(model)
+    load = 0.7 * pristine.total_capacity
+    t_limit = pristine.config.t_max
+
+    t_new, p_new = hottest(pristine, model, optimizer, load)
+    print(f"pristine plant : hottest CPU "
+          f"{kelvin_to_celsius(t_new):.2f} C "
+          f"(limit {kelvin_to_celsius(t_limit):.0f} C), "
+          f"total {p_new:.0f} W")
+
+    # The room ages: dust cuts every heatsink's conductance by 20%.
+    # Same seed -> identical machines except for the aging.
+    aged = build_testbed(TestbedConfig(theta=2.26 * 0.8), seed=seed)
+    t_stale, p_stale = hottest(aged, model, optimizer, load)
+    print(f"aged plant, stale model: hottest CPU "
+          f"{kelvin_to_celsius(t_stale):.2f} C "
+          f"-> {'UNSAFE' if t_stale > t_limit else 'margin gone'}")
+
+    # Routine telemetry from the aged plant: a handful of ordinary
+    # operating points observed through the same sensors.
+    print("\nadapting online from routine telemetry ...")
+    rng = np.random.default_rng(99)
+    estimators = [
+        OnlineThermalEstimator(initial=node, forgetting=0.995)
+        for node in model.nodes
+    ]
+    for set_point in (295.15, 297.15, 299.15):
+        for fraction in (0.2, 0.5, 0.8):
+            powers = np.array(
+                [pm.power(fraction * pm.capacity)
+                 for pm in aged.power_models]
+            )
+            state = aged.simulation.steady_state(
+                powers=powers,
+                on_mask=[True] * aged.n_machines,
+                set_point=set_point,
+            )
+            for _ in range(25):  # repeated noisy sensor reads
+                for i, est in enumerate(estimators):
+                    est.observe(
+                        state.t_ac + rng.normal(0.0, 0.2),
+                        powers[i] + rng.normal(0.0, 0.5),
+                        round(state.t_cpu[i] + rng.normal(0.0, 0.3)),
+                    )
+
+    refreshed = SystemModel(
+        power=model.power,
+        nodes=tuple(est.current_model() for est in estimators),
+        cooler=model.cooler,
+        t_max=model.t_max,
+        capacities=model.capacities,
+    )
+    new_optimizer = JointOptimizer(refreshed)
+    t_adapted, p_adapted = hottest(aged, refreshed, new_optimizer, load)
+    beta_before = model.nodes[0].beta
+    beta_after = refreshed.nodes[0].beta
+    print(f"tracked beta[0]: {beta_before:.3f} -> {beta_after:.3f} "
+          f"(dust makes every watt hotter)")
+    print(f"aged plant, adapted model: hottest CPU "
+          f"{kelvin_to_celsius(t_adapted):.2f} C, total {p_adapted:.0f} W "
+          f"-> {'SAFE' if t_adapted <= t_limit else 'STILL UNSAFE'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: profile a simulated machine room and optimize it.
+
+Builds the 20-machine simulated testbed, runs the paper's profiling
+campaign (Section IV-A) to fit the models, then asks the joint optimizer
+(Section III) for the energy-optimal configuration at 50% total load —
+and verifies the decision against the ground-truth simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import JointOptimizer, build_testbed, scenario_by_number
+from repro.units import kelvin_to_celsius
+
+
+def main() -> None:
+    # 1. Build the simulated rack (the stand-in for the paper's 20 Dell
+    #    R210 machines) and profile it exactly as the paper does.
+    testbed = build_testbed(seed=42)
+    print(f"testbed: {testbed.n_machines} machines, "
+          f"{testbed.total_capacity:.0f} tasks/s total capacity")
+
+    profiled = testbed.profile()
+    model = profiled.system_model
+    print(f"fitted power law: P = {model.power.w1:.3f} * L + "
+          f"{model.power.w2:.2f}  (R^2 = "
+          f"{profiled.power_report.r_squared:.4f})")
+    print(f"cooler: c*f_ac = {model.cooler.c_f_ac:.0f} W/K, blower floor "
+          f"{model.cooler.idle_power:.0f} W")
+
+    # 2. Solve the joint optimization at half load.
+    optimizer = JointOptimizer(model)
+    load = 0.5 * testbed.total_capacity
+    result = optimizer.solve(load)
+    print(f"\noptimal decision for L = {load:.0f} tasks/s:")
+    print(f"  machines on : {len(result.on_ids)} of {testbed.n_machines} "
+          f"-> {list(result.on_ids)}")
+    print(f"  supply air  : {kelvin_to_celsius(result.t_ac):.1f} C "
+          f"(set point {kelvin_to_celsius(result.t_sp):.1f} C)")
+    per_machine = ", ".join(
+        f"{result.loads[i]:.1f}" for i in result.on_ids
+    )
+    print(f"  loads       : [{per_machine}] tasks/s")
+    print(f"  predicted total power: {result.predicted_total_power:.0f} W")
+
+    # 3. Check the prediction against ground truth and against the
+    #    state-of-the-art baseline (cool job allocation, method #7).
+    decision = scenario_by_number(8).decide(model, load, optimizer=optimizer)
+    record = testbed.evaluate(decision)
+    print(f"\nground truth: {record.total_power:.0f} W total "
+          f"({record.server_power:.0f} W servers + "
+          f"{record.cooling_power:.0f} W cooling)")
+    print(f"hottest CPU: {kelvin_to_celsius(record.max_t_cpu):.1f} C "
+          f"(limit {kelvin_to_celsius(testbed.config.t_max):.0f} C) -> "
+          f"{'VIOLATED' if record.temperature_violated else 'OK'}")
+
+    baseline = scenario_by_number(7).decide(model, load, optimizer=optimizer)
+    base_record = testbed.evaluate(baseline)
+    saved = 100.0 * (base_record.total_power - record.total_power) \
+        / base_record.total_power
+    print(f"vs cool job allocation (#7): {base_record.total_power:.0f} W "
+          f"-> saves {saved:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

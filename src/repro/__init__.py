@@ -1,0 +1,85 @@
+"""repro — reproduction of "Joint Optimization of Computing and Cooling
+Energy: Analytic Model and a Machine Room Case Study" (ICDCS 2012).
+
+The package has three layers:
+
+1. **Substrates** (:mod:`repro.thermal`, :mod:`repro.power`,
+   :mod:`repro.workload`) — the simulated machine room, servers and batch
+   workload standing in for the paper's physical 20-machine testbed.
+2. **The paper's contribution** (:mod:`repro.core`,
+   :mod:`repro.profiling`) — model profiling, the closed-form optimal
+   load distribution (Eqs. 18-22), the optimal consolidation algorithms
+   (Algorithms 1-2), and the eight evaluation policies.
+3. **Evaluation** (:mod:`repro.testbed`, :mod:`repro.experiments`,
+   :mod:`repro.analysis`) — the harness regenerating every figure of the
+   paper's Section IV.
+
+Quickstart::
+
+    from repro import build_testbed, JointOptimizer
+
+    testbed = build_testbed(seed=7)
+    profiled = testbed.profile()
+    optimizer = JointOptimizer(profiled.system_model)
+    result = optimizer.solve(total_load=400.0)   # tasks/s
+    print(result.on_ids, result.t_sp, result.loads)
+"""
+
+from repro.core.closed_form import ClosedFormSolution, solve_closed_form
+from repro.core.consolidation import ConsolidationIndex
+from repro.core.model import (
+    CoolerModel,
+    NodeCoefficients,
+    PowerModel,
+    SystemModel,
+)
+from repro.core.optimizer import JointOptimizer, OptimizationResult
+from repro.core.policies import (
+    PolicyDecision,
+    Scenario,
+    paper_scenarios,
+    scenario_by_number,
+)
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    InfeasibleError,
+    ProfilingError,
+    ReproError,
+    SimulationError,
+)
+from repro.testbed.experiment import ExperimentRecord, Testbed
+from repro.testbed.rack import TestbedConfig, build_testbed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "InfeasibleError",
+    "ConvergenceError",
+    "ProfilingError",
+    "SimulationError",
+    # models
+    "PowerModel",
+    "NodeCoefficients",
+    "CoolerModel",
+    "SystemModel",
+    # optimization
+    "ClosedFormSolution",
+    "solve_closed_form",
+    "ConsolidationIndex",
+    "JointOptimizer",
+    "OptimizationResult",
+    # policies & evaluation
+    "PolicyDecision",
+    "Scenario",
+    "paper_scenarios",
+    "scenario_by_number",
+    "Testbed",
+    "TestbedConfig",
+    "build_testbed",
+    "ExperimentRecord",
+]

@@ -1,0 +1,17 @@
+"""Result analysis: energy accounting, savings, and figure series."""
+
+from repro.analysis.energy import (
+    average_power,
+    percent_savings,
+    savings_summary,
+)
+from repro.analysis.series import FigureSeries, format_table, records_to_series
+
+__all__ = [
+    "percent_savings",
+    "average_power",
+    "savings_summary",
+    "FigureSeries",
+    "records_to_series",
+    "format_table",
+]

@@ -1,0 +1,89 @@
+"""Energy accounting and savings computations over experiment records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.testbed.experiment import ExperimentRecord
+
+
+def percent_savings(baseline_power: float, candidate_power: float) -> float:
+    """Percentage of ``baseline_power`` saved by the candidate.
+
+    Positive means the candidate is cheaper (the convention used in the
+    paper's headline numbers).
+    """
+    if baseline_power <= 0.0:
+        raise ConfigurationError(
+            f"baseline power must be positive, got {baseline_power}"
+        )
+    return 100.0 * (baseline_power - candidate_power) / baseline_power
+
+
+def average_power(records: Sequence[ExperimentRecord]) -> float:
+    """Mean total power over a sweep of records (the paper's Fig. 10
+    aggregation: average across load scenarios), W."""
+    if not records:
+        raise ConfigurationError("no records to average")
+    return float(np.mean([r.total_power for r in records]))
+
+
+@dataclass(frozen=True)
+class SavingsSummary:
+    """Aggregate comparison of one method against a baseline."""
+
+    baseline: str
+    candidate: str
+    average_savings_percent: float
+    best_savings_percent: float
+    best_load_fraction: float
+    worst_savings_percent: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.candidate} vs {self.baseline}: "
+            f"avg {self.average_savings_percent:.1f}%, "
+            f"best {self.best_savings_percent:.1f}% "
+            f"(at load {self.best_load_fraction * 100.0:.0f}%), "
+            f"worst {self.worst_savings_percent:.1f}%"
+        )
+
+
+def savings_summary(
+    baseline: Sequence[ExperimentRecord],
+    candidate: Sequence[ExperimentRecord],
+) -> SavingsSummary:
+    """Per-load and aggregate savings of ``candidate`` over ``baseline``.
+
+    Both sweeps must cover the same load fractions in the same order
+    (they are produced by the same harness, so this is a consistency
+    check, not a limitation).
+    """
+    if len(baseline) != len(candidate) or not baseline:
+        raise ConfigurationError(
+            f"sweeps differ in length: {len(baseline)} vs {len(candidate)}"
+        )
+    per_load = []
+    for b, c in zip(baseline, candidate):
+        if abs(b.load_fraction - c.load_fraction) > 1e-6:
+            raise ConfigurationError(
+                "sweeps cover different load fractions: "
+                f"{b.load_fraction} vs {c.load_fraction}"
+            )
+        per_load.append(
+            (b.load_fraction, percent_savings(b.total_power, c.total_power))
+        )
+    savings = [s for _, s in per_load]
+    best_idx = int(np.argmax(savings))
+    return SavingsSummary(
+        baseline=baseline[0].scenario,
+        candidate=candidate[0].scenario,
+        average_savings_percent=float(np.mean(savings)),
+        best_savings_percent=savings[best_idx],
+        best_load_fraction=per_load[best_idx][0],
+        worst_savings_percent=float(np.min(savings)),
+    )

@@ -1,0 +1,88 @@
+"""ASCII line plots for figure series.
+
+The environment has no plotting stack, and the reproduction's claims are
+about series *shapes* anyway — so the CLI renders figures as compact
+ASCII charts: one glyph per series, shared axes, a legend underneath.
+Good enough to eyeball that the curves cross where the paper says they
+cross.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import FigureSeries
+from repro.errors import ConfigurationError
+
+#: Plot glyphs assigned to series in order.
+GLYPHS = "ox+*#@%&$~"
+
+
+def ascii_plot(
+    series: FigureSeries,
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Render a :class:`FigureSeries` as an ASCII chart.
+
+    Each series gets one glyph; overlapping points show the glyph of the
+    later series.  Y axis is linear with the data range padded 5%.
+    """
+    if width < 16 or height < 6:
+        raise ConfigurationError(
+            f"plot needs width >= 16 and height >= 6, got {width}x{height}"
+        )
+    labels = list(series.series)
+    if len(labels) > len(GLYPHS):
+        raise ConfigurationError(
+            f"at most {len(GLYPHS)} series supported, got {len(labels)}"
+        )
+    all_y = [y for ys in series.series.values() for y in ys]
+    if not all_y:
+        raise ConfigurationError("nothing to plot")
+    y_min, y_max = min(all_y), max(all_y)
+    pad = 0.05 * (y_max - y_min) if y_max > y_min else max(1.0, abs(y_max))
+    y_lo, y_hi = y_min - pad, y_max + pad
+    x_lo, x_hi = min(series.x), max(series.x)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, glyph in zip(labels, GLYPHS):
+        for x, y in zip(series.x, series.series[label]):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(
+                round((y_hi - y) / (y_hi - y_lo) * (height - 1))
+            )
+            grid[row][col] = glyph
+
+    lines = [f"{series.name}: {series.title}"]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:>9.0f} |"
+        elif i == height - 1:
+            label = f"{y_lo:>9.0f} |"
+        else:
+            label = " " * 9 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 10
+        + f"{x_lo:<10.0f}"
+        + f"{series.x_label:^{max(0, width - 20)}}"
+        + f"{x_hi:>10.0f}"
+    )
+    for label, glyph in zip(labels, GLYPHS):
+        lines.append(f"  {glyph} = {label}")
+    return "\n".join(lines)
+
+
+def sparkline(values: list[float]) -> str:
+    """A one-line sparkline (eight-level block glyphs) for quick looks."""
+    if not values:
+        raise ConfigurationError("nothing to plot")
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(blocks) - 1))
+        out.append(blocks[idx])
+    return "".join(out)

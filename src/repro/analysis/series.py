@@ -1,0 +1,125 @@
+"""Figure-series containers and plain-text table rendering.
+
+The benches regenerate every paper figure as *data* — x/y series plus a
+rendered text table — because the reproduction's claims are about the
+series shapes, not about pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.testbed.experiment import ExperimentRecord
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One figure's worth of series sharing an x axis.
+
+    Attributes
+    ----------
+    name:
+        Figure identifier, e.g. ``"fig6"``.
+    title:
+        The paper's caption.
+    x_label, y_label:
+        Axis labels.
+    x:
+        Shared x values (load fractions, in percent, for most figures).
+    series:
+        Mapping from series label (e.g. ``"#8 optimal+AC+consolidation"``)
+        to y values aligned with ``x``.
+    """
+
+    name: str
+    title: str
+    x_label: str
+    y_label: str
+    x: tuple[float, ...]
+    series: Mapping[str, tuple[float, ...]]
+
+    def __post_init__(self) -> None:
+        for label, ys in self.series.items():
+            if len(ys) != len(self.x):
+                raise ConfigurationError(
+                    f"series {label!r} has {len(ys)} points for "
+                    f"{len(self.x)} x values"
+                )
+
+    def table(self) -> str:
+        """Render the figure as an aligned text table."""
+        labels = list(self.series)
+        header = [self.x_label] + labels
+        rows = []
+        for i, x in enumerate(self.x):
+            rows.append(
+                [f"{x:.1f}"] + [f"{self.series[l][i]:.1f}" for l in labels]
+            )
+        return format_table(header, rows, title=f"{self.name}: {self.title}")
+
+
+def records_to_series(
+    name: str,
+    title: str,
+    sweeps: Mapping[str, Sequence[ExperimentRecord]],
+    y_label: str = "Total power (W)",
+) -> FigureSeries:
+    """Build a :class:`FigureSeries` from per-scenario record sweeps."""
+    if not sweeps:
+        raise ConfigurationError("no sweeps given")
+    first = next(iter(sweeps.values()))
+    x = tuple(round(r.load_fraction * 100.0, 6) for r in first)
+    series = {}
+    for label, records in sweeps.items():
+        xs = tuple(round(r.load_fraction * 100.0, 6) for r in records)
+        if len(xs) != len(x) or any(
+            abs(a - b) > 1e-3 for a, b in zip(xs, x)
+        ):
+            raise ConfigurationError(
+                f"sweep {label!r} covers loads {xs}, expected {x}"
+            )
+        series[label] = tuple(r.total_power for r in records)
+    return FigureSeries(
+        name=name,
+        title=title,
+        x_label="Load (%)",
+        y_label=y_label,
+        x=x,
+        series=series,
+    )
+
+
+def format_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str | None = None,
+) -> str:
+    """Align a header and string rows into a monospace table."""
+    columns = len(header)
+    for row in rows:
+        if len(row) != columns:
+            raise ConfigurationError(
+                f"row has {len(row)} cells, header has {columns}"
+            )
+    widths = [
+        max(len(str(header[c])), *(len(str(r[c])) for r in rows))
+        if rows
+        else len(str(header[c]))
+        for c in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).rjust(w) for h, w in zip(header, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

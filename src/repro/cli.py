@@ -1,0 +1,211 @@
+"""Command-line interface: regenerate any paper figure from the terminal.
+
+Usage::
+
+    repro list                      # what can be regenerated
+    repro fig2                      # one figure
+    repro fig6 --seed 7 --machines 20 --plot
+    repro all                       # every figure + headline numbers
+    repro profile --save model.json # profile and persist the fitted model
+    repro solve --load 400          # run the optimizer on a profiled rack
+    repro solve --load 400 --model model.json   # ... on a saved model
+
+Heavy contexts (profiling campaigns) are cached per process, so ``repro
+all`` profiles the testbed once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.experiments.algorithms import run_algorithm_study
+from repro.experiments.common import default_context
+from repro.experiments.fig1_particle_example import run_fig1
+from repro.experiments.fig2_power_profiling import run_fig2
+from repro.experiments.fig3_temperature_profiling import run_fig3
+from repro.experiments.fig5_consolidation_effect import run_fig5
+from repro.experiments.fig6_all_methods import run_fig6
+from repro.experiments.fig7_no_consolidation import run_fig7
+from repro.experiments.fig8_with_consolidation import run_fig8
+from repro.experiments.fig9_bottomup_vs_optimal import run_fig9
+from repro.experiments.fig10_average_power import run_fig10
+from repro.experiments.headline import run_headline
+
+
+def _context_figures() -> dict[str, Callable]:
+    """Figure drivers that take the shared evaluation context."""
+    return {
+        "fig2": run_fig2,
+        "fig3": run_fig3,
+        "fig5": run_fig5,
+        "fig6": run_fig6,
+        "fig7": run_fig7,
+        "fig8": run_fig8,
+        "fig9": run_fig9,
+        "fig10": run_fig10,
+        "headline": run_headline,
+    }
+
+
+def _standalone_figures() -> dict[str, Callable]:
+    """Drivers that need no profiled testbed."""
+    return {
+        "fig1": run_fig1,
+        "algorithms": run_algorithm_study,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the figures of 'Joint Optimization of Computing "
+            "and Cooling Energy' (ICDCS 2012) on a simulated testbed."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        help="figure id (fig1..fig10, headline, algorithms), 'all', "
+        "'list', 'profile', or 'solve'",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2012, help="testbed build seed"
+    )
+    parser.add_argument(
+        "--machines", type=int, default=20, help="machines on the rack"
+    )
+    parser.add_argument(
+        "--load",
+        type=float,
+        default=None,
+        help="total load in tasks/s (solve target only)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="power budget in W: solve for the maximum servable load "
+        "instead of a given load (solve target only)",
+    )
+    parser.add_argument(
+        "--model",
+        default=None,
+        help="path to a saved fitted model (solve target only)",
+    )
+    parser.add_argument(
+        "--save",
+        default=None,
+        help="where to write the fitted model (profile target only)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render figure targets as ASCII charts instead of tables",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    contextual = _context_figures()
+    standalone = _standalone_figures()
+
+    if args.target == "list":
+        for name in [*standalone, *contextual, "all", "profile", "solve",
+                     "report"]:
+            print(name)
+        return 0
+
+    if args.target == "report":
+        from repro.analysis.report import write_report
+
+        ctx = default_context(seed=args.seed, n_machines=args.machines)
+        target = args.save or "reproduction_report.md"
+        path = write_report(target, ctx)
+        print(f"reproduction report written to {path}")
+        return 0
+
+    if args.target == "profile":
+        from repro.core.serialization import save_system_model
+
+        ctx = default_context(seed=args.seed, n_machines=args.machines)
+        print(
+            f"profiled {args.machines} machines: "
+            f"P = {ctx.model.power.w1:.3f}*L + {ctx.model.power.w2:.2f}, "
+            f"cooler slope {ctx.model.cooler.c_f_ac:.0f} W/K"
+        )
+        if args.save:
+            save_system_model(ctx.model, args.save)
+            print(f"fitted model written to {args.save}")
+        return 0
+
+    if args.target == "solve":
+        if args.load is None and args.budget is None:
+            print(
+                "solve requires --load <tasks/s> or --budget <W>",
+                file=sys.stderr,
+            )
+            return 2
+        if args.model:
+            from repro.core.serialization import load_system_model
+            from repro.core.optimizer import JointOptimizer
+
+            optimizer = JointOptimizer(load_system_model(args.model))
+        else:
+            ctx = default_context(seed=args.seed, n_machines=args.machines)
+            optimizer = ctx.optimizer
+        if args.budget is not None:
+            max_load, result = optimizer.max_load_under_budget(args.budget)
+            print(
+                f"maximum load under {args.budget:.0f} W: "
+                f"{max_load:.2f} tasks/s"
+            )
+        else:
+            result = optimizer.solve(args.load)
+        print(f"ON set: {list(result.on_ids)}")
+        print(f"T_ac = {result.t_ac:.2f} K, commanded T_SP = {result.t_sp:.2f} K")
+        loads = ", ".join(
+            f"{i}:{result.loads[i]:.2f}" for i in result.on_ids
+        )
+        print(f"loads (tasks/s): {loads}")
+        print(
+            "model-predicted total power: "
+            f"{result.predicted_total_power:.1f} W"
+        )
+        return 0
+
+    targets: list[str]
+    if args.target == "all":
+        targets = [*standalone, *contextual]
+    elif args.target in contextual or args.target in standalone:
+        targets = [args.target]
+    else:
+        print(f"unknown target {args.target!r}; try 'list'", file=sys.stderr)
+        return 2
+
+    ctx = None
+    for name in targets:
+        if name in standalone:
+            result = standalone[name]()
+        else:
+            if ctx is None:
+                ctx = default_context(
+                    seed=args.seed, n_machines=args.machines
+                )
+            result = contextual[name](ctx)
+        if args.plot and hasattr(result, "series"):
+            from repro.analysis.plots import ascii_plot
+
+            print(ascii_plot(result.series))
+        else:
+            print(result.table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

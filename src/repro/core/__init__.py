@@ -1,0 +1,56 @@
+"""The paper's contribution: analytic joint computing+cooling optimization.
+
+Modules
+-------
+:mod:`repro.core.model`
+    The fitted model objects the optimizer works with: the affine power law
+    (Eq. 9), per-node thermal coefficients (Eq. 8), and the cooler model
+    (Eq. 10) plus the set-point actuation map.
+:mod:`repro.core.closed_form`
+    The closed-form optimal load distribution and cooling temperature for a
+    fixed set of powered-on machines (Eqs. 18-22).
+:mod:`repro.core.select`
+    The ``select(A, k, L)`` / ``maxL(A, P_b, k)`` subset problems of
+    Section III-B, exact solvers and a brute-force reference.
+:mod:`repro.core.consolidation`
+    The paper's Algorithms 1 and 2: O(n^3 log n) offline pre-processing of
+    all particle-order events and the O(log n) online consolidation query.
+:mod:`repro.core.heuristics`
+    The footnote-1 heuristics the paper shows to be suboptimal.
+:mod:`repro.core.optimizer`
+    :class:`~repro.core.optimizer.JointOptimizer`, the end-to-end public
+    entry point: fitted model + total load -> (ON set, loads, T_ac, T_SP).
+:mod:`repro.core.policies`
+    The eight evaluation scenarios of the paper's Fig. 4.
+"""
+
+from repro.core.closed_form import ClosedFormSolution, solve_closed_form
+from repro.core.consolidation import ConsolidationIndex, Status
+from repro.core.model import (
+    CoolerModel,
+    NodeCoefficients,
+    PowerModel,
+    SystemModel,
+)
+from repro.core.optimizer import JointOptimizer, OptimizationResult
+from repro.core.policies import (
+    PolicyDecision,
+    Scenario,
+    paper_scenarios,
+)
+
+__all__ = [
+    "PowerModel",
+    "NodeCoefficients",
+    "CoolerModel",
+    "SystemModel",
+    "ClosedFormSolution",
+    "solve_closed_form",
+    "ConsolidationIndex",
+    "Status",
+    "JointOptimizer",
+    "OptimizationResult",
+    "PolicyDecision",
+    "Scenario",
+    "paper_scenarios",
+]

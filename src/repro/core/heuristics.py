@@ -1,0 +1,66 @@
+"""Footnote-1 subset heuristics (shown suboptimal by the paper).
+
+Section III-B's footnote sketches two "simple heuristics [that] are able
+to offer some local optimal" for the ``select(A, k, L)`` problem and gives
+an instance — ``A = {(10, 7), (2, 3), (1, 2), (0.2, 1.34)}`` — on which
+they fail.  Both are implemented here so the ablation bench and the tests
+can quantify exactly how much optimality they give up:
+
+- :func:`ratio_sort_heuristic` — sort by decreasing ``a_i / b_i`` and take
+  the first ``k``;
+- :func:`greedy_heuristic` — start from the single best ``a_i / b_i`` and
+  greedily add whichever machine most improves ``(sum a - L) / sum b``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.core.select import Pair, _validate_pairs, ratio
+
+#: The paper's own counterexample instance (footnote 1).
+PAPER_COUNTEREXAMPLE: tuple[Pair, ...] = (
+    (10.0, 7.0),
+    (2.0, 3.0),
+    (1.0, 2.0),
+    (0.2, 1.34),
+)
+
+
+def ratio_sort_heuristic(pairs: Sequence[Pair], k: int) -> list[int]:
+    """Take the ``k`` machines with the largest ``a_i / b_i`` ratio.
+
+    ("Sort A by decreasing order of a_i/b_i, then pick the first k
+    nodes.")  Load-oblivious, hence cheap — and suboptimal.
+    """
+    ps = _validate_pairs(pairs)
+    if not 1 <= k <= len(ps):
+        raise ConfigurationError(f"k must be in [1, {len(ps)}], got {k}")
+    order = sorted(
+        range(len(ps)), key=lambda i: (-(ps[i][0] / ps[i][1]), i)
+    )
+    return sorted(order[:k])
+
+
+def greedy_heuristic(pairs: Sequence[Pair], k: int, load: float) -> list[int]:
+    """Greedy ratio growth.
+
+    ("First pick the largest a_i/b_i, then pick the next node to make the
+    result as large as possible, and recursively do this.")  Each step
+    adds the machine maximizing the updated objective
+    ``(sum a - L) / sum b``.
+    """
+    ps = _validate_pairs(pairs)
+    if not 1 <= k <= len(ps):
+        raise ConfigurationError(f"k must be in [1, {len(ps)}], got {k}")
+    chosen = [
+        max(range(len(ps)), key=lambda i: (ps[i][0] / ps[i][1], -i))
+    ]
+    while len(chosen) < k:
+        remaining = [i for i in range(len(ps)) if i not in chosen]
+        best = max(
+            remaining, key=lambda i: (ratio(ps, chosen + [i], load), -i)
+        )
+        chosen.append(best)
+    return sorted(chosen)

@@ -1,0 +1,325 @@
+"""End-to-end joint optimizer: the package's primary public entry point.
+
+:class:`JointOptimizer` wires together the pieces of Section III: given the
+fitted :class:`~repro.core.model.SystemModel` and a total load ``L``, it
+
+1. chooses the set of machines to power on (Section III-B) — via the
+   paper's event-based :class:`~repro.core.consolidation.ConsolidationIndex`
+   (default), the exact Dinkelbach scan, or brute force;
+2. computes the closed-form optimal load split and cooling-air temperature
+   for that set (Section III-A, Eqs. 18-22);
+3. translates the desired supply temperature into the set point to command
+   on the cooling unit, using the empirically fitted actuation map
+   (Section IV-B).
+
+Because the pre-processing of Algorithm 1 is load-independent, one
+:class:`JointOptimizer` amortizes it across any number of
+:meth:`~JointOptimizer.solve` queries — the on-line cost per query is
+O(log n) for the selection plus O(n) for the closed form, matching the
+paper's complexity claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.core.closed_form import ClosedFormSolution, solve_closed_form
+from repro.core.consolidation import ConsolidationIndex
+from repro.core.model import SystemModel
+from repro.core.select import brute_force_subset, optimal_subset
+
+SelectionMethod = Literal["index", "exact", "brute"]
+CostModel = Literal["paper", "actuated"]
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Complete output of one :meth:`JointOptimizer.solve` call.
+
+    Attributes
+    ----------
+    loads:
+        Dense per-machine loads, tasks/s (zeros for off machines).
+    on_ids:
+        Machines to power on.
+    t_ac:
+        Supply-air temperature to aim for, K.
+    t_sp:
+        Set point to command on the cooling unit, K.
+    solution:
+        Full closed-form record (predicted temperatures and powers).
+    method:
+        Selection method that produced the ON set ("all" when
+        consolidation was disabled).
+    """
+
+    loads: np.ndarray
+    on_ids: tuple[int, ...]
+    t_ac: float
+    t_sp: float
+    solution: ClosedFormSolution
+    method: str
+
+    @property
+    def predicted_total_power(self) -> float:
+        """Model-predicted room power, W."""
+        return self.solution.predicted_total_power
+
+
+class JointOptimizer:
+    """Holistic computing + cooling optimizer over a fitted system model.
+
+    Parameters
+    ----------
+    model:
+        Fitted coefficients of the machine room (from profiling).
+    selection:
+        How to pick the ON set when consolidating: ``"index"`` uses the
+        paper's Algorithms 1-2 (with the exact re-scoring window),
+        ``"exact"`` the Dinkelbach per-``k`` scan, ``"brute"`` exhaustive
+        search (small n only).
+    cost_model:
+        Cost coefficients used during subset selection.  ``"paper"``
+        follows Eq. 23 verbatim (``rho = c*f_ac*w1``, set point treated as
+        fixed).  ``"actuated"`` composes Eq. 10 with the fitted actuation
+        map, which accounts for the set point moving together with the
+        supply temperature; exposed for the ablation study.
+    """
+
+    def __init__(
+        self,
+        model: SystemModel,
+        selection: SelectionMethod = "index",
+        cost_model: CostModel = "paper",
+    ) -> None:
+        if selection not in ("index", "exact", "brute"):
+            raise ConfigurationError(f"unknown selection method {selection!r}")
+        if cost_model not in ("paper", "actuated"):
+            raise ConfigurationError(f"unknown cost model {cost_model!r}")
+        self.model = model
+        self.selection = selection
+        self.cost_model = cost_model
+        self._index: Optional[ConsolidationIndex] = None
+
+    # ------------------------------------------------------------------ #
+    # Cost coefficients of the subset-selection reduction (Eq. 23)
+    # ------------------------------------------------------------------ #
+
+    def _cost_coefficients(self) -> tuple[float, float]:
+        """``(w2_eff, rho)`` for the selection problem.
+
+        The load-dependent part of ``theta`` is identical for every subset
+        and never affects the argmin, so it is dropped (the paper notes the
+        same).
+        """
+        m = self.model
+        if self.cost_model == "paper":
+            return m.power.w2, m.cooler.c_f_ac * m.power.w1
+        # "actuated": P_ac = c_f_ac * (T_SP - T_ac) with
+        # T_SP = e0 + e1*T_ac + e2*sum(P).  Substituting and collecting the
+        # k- and t-dependent terms of Eq. 23 gives effective coefficients.
+        c = m.cooler.c_f_ac
+        e1 = m.cooler.actuation_t_ac
+        e2 = m.cooler.actuation_power
+        slope = c * (1.0 - e1)
+        if slope <= 0.0:
+            raise ConfigurationError(
+                "actuated cost model needs actuation_t_ac < 1 "
+                f"(got {e1}); the supply knob would not save energy"
+            )
+        w2_eff = m.power.w2 * (1.0 + c * e2)
+        rho_eff = slope * m.power.w1
+        return w2_eff, rho_eff
+
+    def _t_bounds(self) -> tuple[float, float]:
+        """Particle-time bounds implied by the cooler band (t = T_ac/w1)."""
+        w1 = self.model.power.w1
+        return self.model.cooler.t_ac_min / w1, self.model.cooler.t_ac_max / w1
+
+    @property
+    def index(self) -> ConsolidationIndex:
+        """The lazily built Algorithm-1 structure (shared across queries)."""
+        if self._index is None:
+            w2_eff, rho = self._cost_coefficients()
+            t_min, t_max = self._t_bounds()
+            self._index = ConsolidationIndex(
+                pairs=self.model.ab_pairs(),
+                w2=w2_eff,
+                rho=rho,
+                t_min=t_min,
+                t_max=t_max,
+                capacities=self.model.capacities,
+            )
+        return self._index
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def select_on_set(
+        self,
+        total_load: float,
+        exclude: Optional[Sequence[int]] = None,
+    ) -> list[int]:
+        """Choose which machines to power on for ``total_load`` tasks/s.
+
+        ``exclude`` removes machines from consideration (failed hardware,
+        maintenance).  Exclusions invalidate the pre-computed index, so
+        that path falls back to the exact per-query scan over the
+        surviving machines — still fast (the scan is polynomial) and
+        exactly optimal.
+        """
+        if total_load <= 0.0:
+            raise ConfigurationError(
+                f"total load must be positive to select machines, got {total_load}"
+            )
+        excluded = set(int(i) for i in exclude) if exclude else set()
+        unknown = excluded - set(range(self.model.node_count))
+        if unknown:
+            raise ConfigurationError(
+                f"cannot exclude unknown machines: {sorted(unknown)}"
+            )
+        survivors = [
+            i for i in range(self.model.node_count) if i not in excluded
+        ]
+        if not survivors:
+            raise InfeasibleError("every machine is excluded")
+        capacity = sum(self.model.capacities[i] for i in survivors)
+        if total_load > capacity + 1e-9:
+            raise InfeasibleError(
+                f"load {total_load:.3f} exceeds surviving capacity "
+                f"{capacity:.3f}"
+            )
+        if self.selection == "index" and not excluded:
+            return self.index.query_refined(total_load)
+        w2_eff, rho = self._cost_coefficients()
+        t_min, t_max = self._t_bounds()
+        pairs = [self.model.ab_pairs()[i] for i in survivors]
+        capacities = [self.model.capacities[i] for i in survivors]
+        solver = (
+            brute_force_subset if self.selection == "brute" else optimal_subset
+        )
+        best, _ = solver(
+            pairs,
+            total_load,
+            w2=w2_eff,
+            rho=rho,
+            theta=0.0,
+            t_min=t_min,
+            t_max=t_max,
+            capacities=capacities,
+        )
+        return sorted(survivors[j] for j in best)
+
+    def max_load_under_budget(
+        self,
+        power_budget: float,
+        tolerance: float = 1e-4,
+        exclude: Optional[Sequence[int]] = None,
+    ) -> tuple[float, OptimizationResult]:
+        """The paper's ``maxL`` question, answered end to end.
+
+        Section III-B builds its algorithm around the dual problem: "with
+        a given power budget P_b ... find the maximum load Lmax that the
+        cluster can serve without violating P_b".  Related work (Gandhi
+        et al., TAPA) optimizes this direction exclusively.  Because the
+        model-predicted optimal power is monotone increasing in the load
+        ("Lmax increases monotonously with P_b"), a bisection on the load
+        against :meth:`solve` answers it exactly.
+
+        Returns ``(max_load, result_at_max_load)``.
+
+        Raises
+        ------
+        InfeasibleError
+            If even the smallest feasible configuration exceeds the
+            budget.
+        """
+        if power_budget <= 0.0:
+            raise ConfigurationError(
+                f"power budget must be positive, got {power_budget}"
+            )
+        excluded = set(int(i) for i in exclude) if exclude else set()
+        capacity = sum(
+            c
+            for i, c in enumerate(self.model.capacities)
+            if i not in excluded
+        )
+
+        def predicted(load: float) -> float:
+            return self.solve(
+                load, exclude=sorted(excluded)
+            ).predicted_total_power
+
+        lo = 1e-6 * capacity
+        if predicted(lo) > power_budget:
+            raise InfeasibleError(
+                f"budget {power_budget:.1f} W cannot power even an "
+                "idle minimal configuration"
+            )
+        hi = capacity
+        if predicted(hi) <= power_budget:
+            return hi, self.solve(hi, exclude=sorted(excluded))
+        while hi - lo > tolerance * capacity:
+            mid = 0.5 * (lo + hi)
+            if predicted(mid) <= power_budget:
+                lo = mid
+            else:
+                hi = mid
+        return lo, self.solve(lo, exclude=sorted(excluded))
+
+    def solve(
+        self,
+        total_load: float,
+        consolidate: bool = True,
+        on_ids: Optional[Sequence[int]] = None,
+        exclude: Optional[Sequence[int]] = None,
+    ) -> OptimizationResult:
+        """Jointly optimal loads, ON set, and cooling temperature.
+
+        Parameters
+        ----------
+        total_load:
+            Total cluster load ``L``, tasks/s.
+        consolidate:
+            If false, keep every machine powered (method #6 of the paper's
+            evaluation); if true, pick the optimal subset (method #8).
+        on_ids:
+            Explicit ON set override (used by the policy layer and by
+            what-if analyses); supersedes ``consolidate``.
+        exclude:
+            Machines unavailable to any solution (failures/maintenance).
+        """
+        excluded = set(int(i) for i in exclude) if exclude else set()
+        if on_ids is not None:
+            chosen = sorted(int(i) for i in on_ids)
+            overlap = excluded & set(chosen)
+            if overlap:
+                raise ConfigurationError(
+                    f"explicit ON set includes excluded machines: "
+                    f"{sorted(overlap)}"
+                )
+            method = "explicit"
+        elif consolidate:
+            chosen = self.select_on_set(total_load, exclude=exclude)
+            method = self.selection
+        else:
+            chosen = [
+                i
+                for i in range(self.model.node_count)
+                if i not in excluded
+            ]
+            method = "all"
+        solution = solve_closed_form(self.model, chosen, total_load)
+        return OptimizationResult(
+            loads=solution.loads,
+            on_ids=solution.on_ids,
+            t_ac=solution.t_ac,
+            t_sp=solution.t_sp,
+            solution=solution,
+            method=method,
+        )

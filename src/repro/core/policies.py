@@ -1,0 +1,292 @@
+"""The eight evaluation scenarios of the paper's Fig. 4.
+
+An energy-control policy decides three things (Section IV-B): how load is
+distributed, whether the AC temperature is tuned, and whether unused
+machines are turned off.  The paper's scenario matrix:
+
+====  ============  ==========  =============
+#     distribution  AC control  consolidation
+====  ============  ==========  =============
+1     Even          no          no
+2     Bottom-up     no          no
+3     Bottom-up     no          yes
+4     Even          yes         no
+5     Bottom-up     yes         no
+6     Optimal       yes         no
+7     Bottom-up     yes         yes
+8     Optimal       yes         yes
+====  ============  ==========  =============
+
+- **Even** — the standard load-balancing practice: equal share per machine.
+- **Bottom-up** — "cool job allocation" (Bash & Forman [1]): fill machines
+  up, coolest first.  On our simulated rack the coolest spots are at the
+  bottom (index 0), but the ordering here is derived from the *fitted*
+  thermal coefficients, not from positions, exactly as an operator without
+  ground truth would have to do.
+- **Optimal** — the paper's closed-form solution (Section III).
+- **AC control** — the set point is pushed as high as the ``T_max``
+  constraint allows for the chosen allocation; without AC control it stays
+  at the conservative value that is safe even with every machine at full
+  load.
+- **Consolidation** — machines with no load are switched off instead of
+  idling.
+
+``extra_scenarios`` additionally provides *Even + consolidation* variants
+(the paper's Fig. 8 legend shows an "Even" series in the consolidated
+setting although the Fig. 4 matrix does not number one); they are marked
+supplementary and excluded from the numbered reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.core.model import SystemModel
+from repro.core.optimizer import JointOptimizer
+
+Distribution = Literal["even", "bottom_up", "optimal"]
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """What a policy commands: loads, power states, and the set point."""
+
+    loads: np.ndarray
+    on_ids: tuple[int, ...]
+    t_sp: float
+    t_ac_target: float
+    scenario: str
+
+    @property
+    def total_load(self) -> float:
+        """Sum of commanded loads, tasks/s."""
+        return float(np.sum(self.loads))
+
+    @property
+    def machines_on(self) -> int:
+        """Number of machines drawing power under this decision."""
+        return len(self.on_ids)
+
+
+def coolness_order(model: SystemModel) -> list[int]:
+    """Machines sorted coolest-first from the fitted coefficients.
+
+    Uses the predicted *idle* CPU temperature at the middle of the cooler
+    band as the coolness proxy — the information an operator has after
+    profiling, without access to ground-truth airflow.
+    """
+    t_ref = 0.5 * (model.cooler.t_ac_min + model.cooler.t_ac_max)
+    idle = model.power.w2
+
+    def idle_temp(i: int) -> float:
+        return model.nodes[i].cpu_temperature(t_ref, idle)
+
+    return sorted(range(model.node_count), key=lambda i: (idle_temp(i), i))
+
+
+def even_loads(
+    model: SystemModel, on_ids: Sequence[int], total_load: float
+) -> np.ndarray:
+    """Equal share per powered machine, spilling over at capacity.
+
+    With homogeneous capacities (the testbed case) this is the plain
+    ``L / n`` split; the spill loop only engages for heterogeneous racks.
+    """
+    on = sorted(on_ids)
+    cap = sum(model.capacities[i] for i in on)
+    if total_load > cap + 1e-9:
+        raise InfeasibleError(
+            f"even policy: load {total_load:.3f} exceeds capacity {cap:.3f}"
+        )
+    loads = np.zeros(model.node_count)
+    remaining = total_load
+    open_set = list(on)
+    while open_set and remaining > 1e-12:
+        share = remaining / len(open_set)
+        saturated = [i for i in open_set if model.capacities[i] < share]
+        if not saturated:
+            for i in open_set:
+                loads[i] += share
+            remaining = 0.0
+            break
+        for i in saturated:
+            loads[i] = model.capacities[i]
+            remaining -= model.capacities[i]
+            open_set.remove(i)
+    return loads
+
+
+def bottom_up_loads(
+    model: SystemModel, on_ids: Sequence[int], total_load: float
+) -> np.ndarray:
+    """Cool job allocation [1]: fill machines to capacity, coolest first."""
+    on = set(on_ids)
+    cap = sum(model.capacities[i] for i in on)
+    if total_load > cap + 1e-9:
+        raise InfeasibleError(
+            f"bottom-up policy: load {total_load:.3f} exceeds capacity {cap:.3f}"
+        )
+    loads = np.zeros(model.node_count)
+    remaining = total_load
+    for i in coolness_order(model):
+        if i not in on or remaining <= 1e-12:
+            continue
+        take = min(model.capacities[i], remaining)
+        loads[i] = take
+        remaining -= take
+    return loads
+
+
+def minimal_on_set(model: SystemModel, total_load: float) -> list[int]:
+    """Fewest machines (coolest first) whose capacity covers the load."""
+    chosen: list[int] = []
+    cap = 0.0
+    for i in coolness_order(model):
+        chosen.append(i)
+        cap += model.capacities[i]
+        if cap + 1e-9 >= total_load:
+            return sorted(chosen)
+    raise InfeasibleError(
+        f"load {total_load:.3f} exceeds cluster capacity {cap:.3f}"
+    )
+
+
+def conservative_set_point(model: SystemModel) -> tuple[float, float]:
+    """The no-AC-control setting: ``(t_sp, t_ac)`` safe at full cluster load.
+
+    The paper chooses "the highest temperature that (empirically) satisfies
+    CPU temperature constraints when all machines run at full load".
+    """
+    full = list(model.capacities)
+    t_ac = model.cooler.clamp_t_ac(
+        model.max_feasible_t_ac(full, range(model.node_count))
+    )
+    total_power = sum(model.power.power(c) for c in model.capacities)
+    return model.cooler.set_point_for(t_ac, total_power), t_ac
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of the Fig. 4 matrix (or a supplementary variant)."""
+
+    number: int
+    distribution: Distribution
+    ac_control: bool
+    consolidation: bool
+    supplementary: bool = False
+
+    @property
+    def name(self) -> str:
+        """Human-readable label, e.g. ``#8 optimal+AC+consolidation``."""
+        parts = [self.distribution.replace("_", "-")]
+        parts.append("AC" if self.ac_control else "fixedAC")
+        parts.append("consolidation" if self.consolidation else "all-on")
+        prefix = f"#{self.number}" if not self.supplementary else "supp"
+        return f"{prefix} " + "+".join(parts)
+
+    def decide(
+        self,
+        model: SystemModel,
+        total_load: float,
+        optimizer: Optional[JointOptimizer] = None,
+    ) -> PolicyDecision:
+        """Produce the loads / ON set / set point this scenario commands."""
+        if total_load <= 0.0:
+            raise ConfigurationError(
+                f"total load must be positive, got {total_load}"
+            )
+        if self.distribution == "optimal":
+            return self._decide_optimal(model, total_load, optimizer)
+        if self.consolidation:
+            on_ids = minimal_on_set(model, total_load)
+        else:
+            on_ids = list(range(model.node_count))
+        if self.distribution == "even":
+            loads = even_loads(model, on_ids, total_load)
+        else:
+            loads = bottom_up_loads(model, on_ids, total_load)
+        t_sp, t_ac = self._set_point_for(model, loads, on_ids)
+        return PolicyDecision(
+            loads=loads,
+            on_ids=tuple(sorted(on_ids)),
+            t_sp=t_sp,
+            t_ac_target=t_ac,
+            scenario=self.name,
+        )
+
+    def _decide_optimal(
+        self,
+        model: SystemModel,
+        total_load: float,
+        optimizer: Optional[JointOptimizer],
+    ) -> PolicyDecision:
+        if not self.ac_control:
+            raise ConfigurationError(
+                "the paper's matrix has no optimal-without-AC-control cell"
+            )
+        if optimizer is None:
+            optimizer = JointOptimizer(model)
+        result = optimizer.solve(total_load, consolidate=self.consolidation)
+        return PolicyDecision(
+            loads=result.loads,
+            on_ids=result.on_ids,
+            t_sp=result.t_sp,
+            t_ac_target=result.t_ac,
+            scenario=self.name,
+        )
+
+    def _set_point_for(
+        self,
+        model: SystemModel,
+        loads: np.ndarray,
+        on_ids: Sequence[int],
+    ) -> tuple[float, float]:
+        if self.ac_control:
+            t_ac = model.cooler.clamp_t_ac(
+                model.max_feasible_t_ac(loads, on_ids)
+            )
+            total_power = sum(
+                model.power.power(float(loads[i])) for i in on_ids
+            )
+            return model.cooler.set_point_for(t_ac, total_power), t_ac
+        t_sp, t_ac = conservative_set_point(model)
+        return t_sp, t_ac
+
+
+def paper_scenarios() -> tuple[Scenario, ...]:
+    """The eight numbered scenarios of Fig. 4, in order."""
+    return (
+        Scenario(1, "even", ac_control=False, consolidation=False),
+        Scenario(2, "bottom_up", ac_control=False, consolidation=False),
+        Scenario(3, "bottom_up", ac_control=False, consolidation=True),
+        Scenario(4, "even", ac_control=True, consolidation=False),
+        Scenario(5, "bottom_up", ac_control=True, consolidation=False),
+        Scenario(6, "optimal", ac_control=True, consolidation=False),
+        Scenario(7, "bottom_up", ac_control=True, consolidation=True),
+        Scenario(8, "optimal", ac_control=True, consolidation=True),
+    )
+
+
+def extra_scenarios() -> tuple[Scenario, ...]:
+    """Supplementary variants outside the numbered matrix."""
+    return (
+        Scenario(
+            9, "even", ac_control=True, consolidation=True, supplementary=True
+        ),
+        Scenario(
+            10, "even", ac_control=False, consolidation=True, supplementary=True
+        ),
+    )
+
+
+def scenario_by_number(number: int) -> Scenario:
+    """Look up a numbered scenario (1-8) of the Fig. 4 matrix."""
+    for scenario in paper_scenarios():
+        if scenario.number == number:
+            return scenario
+    raise ConfigurationError(f"no paper scenario numbered {number}")

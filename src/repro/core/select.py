@@ -1,0 +1,257 @@
+"""Subset-selection problems of Section III-B.
+
+The consolidation question — which machines to keep on — reduces (Eq. 23)
+to the following abstraction.  With ``a_i = K_i`` and
+``b_i = alpha_i / beta_i``, the model-predicted total power of running the
+load ``L`` on a subset ``S`` of exactly ``k`` machines is::
+
+    P_total(S) = k * w2 - rho * t(S) + theta
+    t(S)       = (sum_{i in S} a_i - L) / sum_{i in S} b_i
+    rho        = c * f_ac * w1
+    theta      = c * f_ac * T_SP + w1 * L
+
+so for each cardinality ``k`` the best subset maximizes the ratio ``t(S)``
+(the paper's ``select(A, k, L)`` problem), and the overall optimum is found
+by comparing the ``n`` per-``k`` champions.  Physically, ``t(S)`` is the
+optimal supply temperature of Eq. 21 divided by ``w1``: the best subset is
+the one that lets the cooler run warmest.
+
+This module provides:
+
+- :func:`max_load` — the paper's ``maxL(A, P_b, k)``: the largest load a
+  power budget can serve on ``k`` machines (top-k particles at time ``t``);
+- :func:`select_subset` — exact ``select(A, k, L)`` via Dinkelbach's
+  algorithm for fractional programming (provably optimal, converges in a
+  finite number of iterations because each step's subset is drawn from a
+  finite family);
+- :func:`optimal_subset` — the full consolidation optimum by scanning
+  ``k``;
+- :func:`brute_force_subset` — exponential reference used by the tests.
+
+The event-based Algorithms 1-2 from the paper live in
+:mod:`repro.core.consolidation`; they answer the same question with an
+O(log n) online query after O(n^3 log n) pre-processing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InfeasibleError
+
+#: Pair type of the abstraction: (a_i, b_i) with b_i > 0.
+Pair = tuple[float, float]
+
+
+def _validate_pairs(pairs: Sequence[Pair]) -> list[Pair]:
+    if not pairs:
+        raise ConfigurationError("need at least one (a, b) pair")
+    out = []
+    for a, b in pairs:
+        if b <= 0.0:
+            raise ConfigurationError(f"b must be positive, got pair ({a}, {b})")
+        out.append((float(a), float(b)))
+    return out
+
+
+def coordinates_at(pairs: Sequence[Pair], t: float) -> np.ndarray:
+    """Particle coordinates ``x_i(t) = a_i - t * b_i`` (Eq. 26)."""
+    arr = np.asarray(pairs, dtype=float)
+    return arr[:, 0] - t * arr[:, 1]
+
+
+def top_k_at(pairs: Sequence[Pair], t: float, k: int) -> list[int]:
+    """Indices of the ``k`` largest coordinates at time ``t``.
+
+    Ties break toward the lower index, making results deterministic.
+    """
+    if not 1 <= k <= len(pairs):
+        raise ConfigurationError(
+            f"k must be in [1, {len(pairs)}], got {k}"
+        )
+    x = coordinates_at(pairs, t)
+    order = sorted(range(len(pairs)), key=lambda i: (-x[i], i))
+    return sorted(order[:k])
+
+
+def max_load(pairs: Sequence[Pair], t: float, k: int) -> float:
+    """The paper's ``maxL``: the largest load servable at particle time
+    ``t`` using exactly ``k`` machines — the sum of the k largest
+    coordinates (Eq. 26)."""
+    chosen = top_k_at(pairs, t, k)
+    x = coordinates_at(pairs, t)
+    return float(sum(x[i] for i in chosen))
+
+
+def ratio(pairs: Sequence[Pair], subset: Sequence[int], load: float) -> float:
+    """The objective ``t(S) = (sum a - L) / sum b`` for a subset."""
+    if not subset:
+        raise ConfigurationError("subset must not be empty")
+    a = sum(pairs[i][0] for i in subset)
+    b = sum(pairs[i][1] for i in subset)
+    return (a - load) / b
+
+
+def select_subset(
+    pairs: Sequence[Pair], k: int, load: float
+) -> tuple[list[int], float]:
+    """Exact ``select(A, k, L)``: the size-``k`` subset maximizing
+    ``(sum a - L) / sum b``, via Dinkelbach iteration.
+
+    Starting from any subset, repeatedly (1) evaluate its ratio ``t`` and
+    (2) re-select the top-``k`` particles at time ``t``.  Each step weakly
+    increases the ratio and the subset family is finite, so the iteration
+    reaches a fixpoint, which is the global maximizer (standard fractional
+    programming argument: ``max_S sum_{i in S}(a_i - t b_i) >= L - ...``
+    changes sign exactly at the optimal ratio).
+
+    Returns ``(subset, t_star)`` with the subset sorted.
+    """
+    ps = _validate_pairs(pairs)
+    if not 1 <= k <= len(ps):
+        raise ConfigurationError(f"k must be in [1, {len(ps)}], got {k}")
+    subset = top_k_at(ps, 0.0, k)
+    t = ratio(ps, subset, load)
+    for _ in range(len(ps) * len(ps) + 2):
+        candidate = top_k_at(ps, t, k)
+        t_new = ratio(ps, candidate, load)
+        if t_new <= t + 1e-15:
+            return sorted(subset), t
+        subset, t = candidate, t_new
+    raise InfeasibleError("Dinkelbach iteration failed to converge")
+
+
+@dataclass(frozen=True)
+class SubsetChoice:
+    """Outcome of the consolidation scan for one cardinality ``k``."""
+
+    k: int
+    subset: tuple[int, ...]
+    t_star: float
+    t_clamped: float
+    predicted_power: float
+    feasible: bool
+
+
+def optimal_subset(
+    pairs: Sequence[Pair],
+    load: float,
+    w2: float,
+    rho: float,
+    theta: float,
+    t_min: Optional[float] = None,
+    t_max: Optional[float] = None,
+    capacities: Optional[Sequence[float]] = None,
+) -> tuple[list[int], list[SubsetChoice]]:
+    """Full consolidation optimum: scan ``k`` and compare champions.
+
+    Parameters
+    ----------
+    pairs, load:
+        The ``(a_i, b_i)`` abstraction and the total load ``L``.
+    w2, rho, theta:
+        Cost coefficients of Eq. 23 (``P = k*w2 - rho*t + theta``).
+    t_min, t_max:
+        Optional particle-time bounds corresponding to the cooler's
+        achievable supply band (``t = T_ac / w1``).  A champion whose
+        ``t*`` falls below ``t_min`` cannot serve the load within the
+        temperature constraint and is marked infeasible; one above
+        ``t_max`` is clamped (the cooler simply runs at its warmest and
+        the machines sit below ``T_max``).
+    capacities:
+        Optional per-machine capacities in load units; a subset whose
+        total capacity is below ``load`` is infeasible regardless of its
+        ratio.
+
+    Returns
+    -------
+    (best_subset, per_k_choices):
+        The overall optimal ON set and the full scan record (useful for
+        diagnostics and the benches).
+
+    Raises
+    ------
+    InfeasibleError
+        If no cardinality yields a feasible subset.
+    """
+    ps = _validate_pairs(pairs)
+    if rho <= 0.0:
+        raise ConfigurationError(f"rho must be positive, got {rho}")
+    choices: list[SubsetChoice] = []
+    for k in range(1, len(ps) + 1):
+        subset, t_star = select_subset(ps, k, load)
+        feasible = True
+        if capacities is not None:
+            cap = sum(capacities[i] for i in subset)
+            feasible = cap + 1e-9 >= load
+        if t_min is not None and t_star < t_min - 1e-12:
+            feasible = False
+        t_clamped = t_star if t_max is None else min(t_star, t_max)
+        power = k * w2 - rho * t_clamped + theta
+        choices.append(
+            SubsetChoice(
+                k=k,
+                subset=tuple(subset),
+                t_star=t_star,
+                t_clamped=t_clamped,
+                predicted_power=power,
+                feasible=feasible,
+            )
+        )
+    feasible_choices = [c for c in choices if c.feasible]
+    if not feasible_choices:
+        raise InfeasibleError(
+            f"no subset of any size can serve load {load} within constraints"
+        )
+    best = min(feasible_choices, key=lambda c: (c.predicted_power, c.k))
+    return list(best.subset), choices
+
+
+def brute_force_subset(
+    pairs: Sequence[Pair],
+    load: float,
+    w2: float,
+    rho: float,
+    theta: float,
+    t_min: Optional[float] = None,
+    t_max: Optional[float] = None,
+    capacities: Optional[Sequence[float]] = None,
+) -> tuple[list[int], float]:
+    """Exhaustive reference solver (O(n * 2^n)); tests only.
+
+    Returns the optimal subset and its predicted power.
+    """
+    ps = _validate_pairs(pairs)
+    n = len(ps)
+    if n > 22:
+        raise ConfigurationError(
+            f"brute force limited to 22 machines, got {n}"
+        )
+    best_subset: Optional[tuple[int, ...]] = None
+    best_power = math.inf
+    for k in range(1, n + 1):
+        for combo in itertools.combinations(range(n), k):
+            if capacities is not None:
+                if sum(capacities[i] for i in combo) + 1e-9 < load:
+                    continue
+            t = ratio(ps, combo, load)
+            if t_min is not None and t < t_min - 1e-12:
+                continue
+            t_eff = t if t_max is None else min(t, t_max)
+            power = k * w2 - rho * t_eff + theta
+            if power < best_power - 1e-12 or (
+                abs(power - best_power) <= 1e-12
+                and (best_subset is None or combo < best_subset)
+            ):
+                best_power = power
+                best_subset = combo
+    if best_subset is None:
+        raise InfeasibleError(
+            f"no subset of any size can serve load {load} within constraints"
+        )
+    return list(best_subset), best_power

@@ -1,0 +1,122 @@
+"""Serialization of fitted models.
+
+Profiling a room takes hours of wall-clock time on real hardware (15
+minutes per power level alone), so a production deployment profiles once
+and reuses the coefficients.  This module round-trips a fitted
+:class:`~repro.core.model.SystemModel` through a versioned JSON document.
+
+The format is deliberately flat and explicit — every coefficient appears
+under its paper name — so a saved model doubles as a human-readable
+profiling report.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Union
+
+from repro.core.model import (
+    CoolerModel,
+    NodeCoefficients,
+    PowerModel,
+    SystemModel,
+)
+from repro.errors import ConfigurationError
+
+#: Format version written into every document.
+FORMAT_VERSION = 1
+
+
+def system_model_to_dict(model: SystemModel) -> dict[str, Any]:
+    """The JSON-ready dictionary form of a fitted system model."""
+    return {
+        "format": "repro-system-model",
+        "version": FORMAT_VERSION,
+        "t_max": model.t_max,
+        "power": {"w1": model.power.w1, "w2": model.power.w2},
+        "cooler": {
+            "c_f_ac": model.cooler.c_f_ac,
+            "actuation_offset": model.cooler.actuation_offset,
+            "actuation_t_ac": model.cooler.actuation_t_ac,
+            "actuation_power": model.cooler.actuation_power,
+            "t_ac_min": model.cooler.t_ac_min,
+            "t_ac_max": model.cooler.t_ac_max,
+            "idle_power": model.cooler.idle_power,
+        },
+        "nodes": [
+            {
+                "alpha": node.alpha,
+                "beta": node.beta,
+                "gamma": node.gamma,
+                "capacity": capacity,
+            }
+            for node, capacity in zip(model.nodes, model.capacities)
+        ],
+    }
+
+
+def system_model_from_dict(data: dict[str, Any]) -> SystemModel:
+    """Rebuild a fitted system model from its dictionary form.
+
+    Raises
+    ------
+    ConfigurationError
+        On wrong format tags, unsupported versions, or missing fields —
+        a clear error beats a half-loaded model.
+    """
+    if not isinstance(data, dict):
+        raise ConfigurationError("model document must be a JSON object")
+    if data.get("format") != "repro-system-model":
+        raise ConfigurationError(
+            f"not a repro system model (format={data.get('format')!r})"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported model version {data.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    try:
+        power = PowerModel(**data["power"])
+        cooler = CoolerModel(**data["cooler"])
+        nodes = tuple(
+            NodeCoefficients(
+                alpha=entry["alpha"],
+                beta=entry["beta"],
+                gamma=entry["gamma"],
+            )
+            for entry in data["nodes"]
+        )
+        capacities = tuple(entry["capacity"] for entry in data["nodes"])
+        t_max = float(data["t_max"])
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(f"malformed model document: {exc}") from exc
+    return SystemModel(
+        power=power,
+        nodes=nodes,
+        cooler=cooler,
+        t_max=t_max,
+        capacities=capacities,
+    )
+
+
+def save_system_model(
+    model: SystemModel, path: Union[str, pathlib.Path]
+) -> None:
+    """Write a fitted model to ``path`` as JSON."""
+    document = json.dumps(system_model_to_dict(model), indent=2)
+    pathlib.Path(path).write_text(document + "\n")
+
+
+def load_system_model(path: Union[str, pathlib.Path]) -> SystemModel:
+    """Read a fitted model previously written by :func:`save_system_model`."""
+    file = pathlib.Path(path)
+    if not file.exists():
+        raise ConfigurationError(f"model file not found: {file}")
+    try:
+        data = json.loads(file.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"model file {file} is not valid JSON: {exc}"
+        ) from exc
+    return system_model_from_dict(data)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+caller can catch the whole family with one ``except`` clause while still
+being able to distinguish model-fitting problems from optimization problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with physically meaningless parameters.
+
+    Examples: a negative heat capacity, a cooling efficiency outside
+    ``(0, 1]``, or a rack with zero machines.
+    """
+
+
+class InfeasibleError(ReproError):
+    """The requested optimization problem has no feasible solution.
+
+    Raised, for instance, when the total load exceeds the cluster capacity,
+    or when no cooling set point can keep every CPU below ``T_max`` for the
+    requested allocation.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative procedure (simulation or solver) failed to converge."""
+
+
+class ProfilingError(ReproError):
+    """A profiling campaign produced data unusable for regression.
+
+    Typical causes: fewer samples than model parameters, or degenerate
+    (constant) regressors that make the least-squares system singular.
+    """
+
+
+class SimulationError(ReproError):
+    """The thermal simulation entered an invalid state (NaN, blow-up)."""

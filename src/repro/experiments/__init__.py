@@ -1,0 +1,22 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver builds (or reuses) the default evaluation context — the
+simulated 20-machine testbed, profiled exactly as in Section IV-A — and
+returns the figure's data as structured series.  The benchmark harness in
+``benchmarks/`` calls these drivers and prints the regenerated rows; the
+test suite asserts the series *shapes* the paper claims.
+"""
+
+from repro.experiments.common import (
+    EvaluationContext,
+    default_context,
+    scenario_sweeps,
+    sweep_scenario,
+)
+
+__all__ = [
+    "EvaluationContext",
+    "default_context",
+    "sweep_scenario",
+    "scenario_sweeps",
+]

@@ -1,0 +1,279 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Three questions the paper raises but does not isolate:
+
+1. **Selection cost model** — the paper's Eq. 23 treats the set point as
+   fixed while varying the supply temperature, which overstates the
+   marginal value of warm air on a real (here: simulated) unit whose set
+   point must move together with the supply temperature.  How much energy
+   does the "actuated" cost model (Eq. 10 composed with the fitted
+   actuation map) recover, and how close is either to an oracle that
+   evaluates the per-k champions on ground truth?
+2. **Spatial diversity** — the paper expects "savings in larger systems
+   will be more pronounced, as larger spatial diversity gives rise to more
+   opportunities".  We sweep the rack's top-to-bottom vent-fraction spread
+   and measure the optimal-vs-bottom-up gap.
+3. **Knob isolation** — how much of the total saving comes from AC
+   control alone vs consolidation alone (comparing the scenario pairs
+   that isolate each knob).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.energy import average_power
+from repro.core.optimizer import JointOptimizer
+from repro.core.policies import scenario_by_number
+from repro.experiments.common import (
+    DEFAULT_LOAD_FRACTIONS,
+    EvaluationContext,
+    default_context,
+    numbered_sweeps,
+    sweep_scenario,
+)
+from repro.testbed.rack import TestbedConfig
+
+
+@dataclass(frozen=True)
+class CostModelAblation:
+    """Average ground-truth power of each selection cost model."""
+
+    paper_avg_watts: float
+    actuated_avg_watts: float
+    oracle_avg_watts: float
+
+    def table(self) -> str:
+        """Text rendering of the cost-model comparison."""
+        return "\n".join(
+            [
+                "Cost-model ablation (average total power, #8-style policy):",
+                f"  paper Eq. 23 selection:    {self.paper_avg_watts:9.1f} W",
+                f"  actuated-map selection:    {self.actuated_avg_watts:9.1f} W",
+                f"  ground-truth oracle:       {self.oracle_avg_watts:9.1f} W",
+            ]
+        )
+
+
+def run_cost_model_ablation(
+    context: EvaluationContext | None = None,
+    load_fractions: Sequence[float] = DEFAULT_LOAD_FRACTIONS,
+) -> CostModelAblation:
+    """Compare the paper's selection cost model against the actuated
+    variant and a ground-truth oracle (per-k champions evaluated on the
+    simulator)."""
+    ctx = context or default_context()
+    model = ctx.model
+    testbed = ctx.testbed
+    capacity = testbed.total_capacity
+
+    def evaluate_with(optimizer: JointOptimizer) -> float:
+        powers = []
+        scenario = scenario_by_number(8)
+        for fraction in load_fractions:
+            decision = scenario.decide(
+                model, fraction * capacity, optimizer=optimizer
+            )
+            powers.append(testbed.evaluate(decision).total_power)
+        return float(np.mean(powers))
+
+    paper_avg = evaluate_with(JointOptimizer(model, cost_model="paper"))
+    actuated_avg = evaluate_with(
+        JointOptimizer(model, cost_model="actuated")
+    )
+
+    # Oracle: for each load, evaluate every per-k Dinkelbach champion on
+    # the true simulator and keep the cheapest feasible one.
+    from repro.core.closed_form import solve_closed_form
+    from repro.core.select import select_subset
+
+    oracle_powers = []
+    for fraction in load_fractions:
+        load = fraction * capacity
+        best = None
+        for k in range(1, model.node_count + 1):
+            subset, _ = select_subset(model.ab_pairs(), k, load)
+            if sum(model.capacities[i] for i in subset) + 1e-9 < load:
+                continue
+            try:
+                solve_closed_form(model, subset, load)
+            except Exception:
+                continue
+            record = testbed.evaluate(
+                scenario_by_number(8)
+                .decide(
+                    model,
+                    load,
+                    optimizer=_FixedSetOptimizer(model, subset),
+                )
+            )
+            if not record.temperature_violated and (
+                best is None or record.total_power < best
+            ):
+                best = record.total_power
+        oracle_powers.append(best)
+    return CostModelAblation(
+        paper_avg_watts=paper_avg,
+        actuated_avg_watts=actuated_avg,
+        oracle_avg_watts=float(np.mean(oracle_powers)),
+    )
+
+
+class _FixedSetOptimizer(JointOptimizer):
+    """JointOptimizer that always selects a predetermined ON set."""
+
+    def __init__(self, model, subset):
+        super().__init__(model)
+        self._subset = list(subset)
+
+    def select_on_set(self, total_load, exclude=None):
+        return list(self._subset)
+
+
+@dataclass(frozen=True)
+class DiversityPoint:
+    """Optimal-vs-bottom-up savings at one vent-fraction spread."""
+
+    top_fraction: float
+    spread: float
+    avg_savings_percent: float
+
+
+def run_diversity_sweep(
+    top_fractions: Sequence[float] = (0.90, 0.75, 0.55, 0.40),
+    seed: int = 2012,
+    load_fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
+) -> list[DiversityPoint]:
+    """Sweep rack thermal diversity; larger spread should widen the gap.
+
+    Each point rebuilds and re-profiles a testbed whose top-of-rack vent
+    fraction differs (the bottom stays at 0.95), then measures the
+    average #8-vs-#7 savings.
+    """
+    points = []
+    for top in top_fractions:
+        config = TestbedConfig(supply_fraction_top=top)
+        ctx = default_context(seed=seed, config=config)
+        sweeps = numbered_sweeps(ctx, [7, 8], load_fractions)
+        labels = list(sweeps)
+        bottom, optimal = sweeps[labels[0]], sweeps[labels[1]]
+        savings = [
+            100.0 * (b.total_power - o.total_power) / b.total_power
+            for b, o in zip(bottom, optimal)
+        ]
+        points.append(
+            DiversityPoint(
+                top_fraction=top,
+                spread=0.95 - top,
+                avg_savings_percent=float(np.mean(savings)),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class NoisePoint:
+    """Outcome of the full pipeline at one sensor-noise level."""
+
+    noise_scale: float
+    avg_savings_percent: float
+    violations: int
+    worst_overshoot_kelvin: float
+
+
+def run_noise_robustness(
+    scales: Sequence[float] = (0.0, 1.0, 3.0, 6.0),
+    seed: int = 2012,
+    load_fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
+) -> list[NoisePoint]:
+    """Profiling-robustness ablation: scale every sensor's noise.
+
+    For each noise level the testbed is rebuilt and re-profiled from
+    scratch, then the #8-vs-#7 comparison runs on ground truth.  Shows
+    how much of the savings survives sloppy profiling, and whether the
+    1 K guard band keeps the temperature constraint safe.
+    """
+    from repro.core.optimizer import JointOptimizer
+    from repro.profiling.campaign import CampaignConfig
+    from repro.testbed.rack import build_testbed
+
+    points = []
+    for scale in scales:
+        testbed = build_testbed(seed=seed)
+        profiling = testbed.profile(
+            CampaignConfig(sensor_noise_scale=float(scale))
+        )
+        model = profiling.system_model
+        optimizer = JointOptimizer(model)
+        savings = []
+        violations = 0
+        overshoot = 0.0
+        for fraction in load_fractions:
+            load = fraction * testbed.total_capacity
+            opt = testbed.evaluate(
+                scenario_by_number(8).decide(model, load, optimizer=optimizer)
+            )
+            base = testbed.evaluate(
+                scenario_by_number(7).decide(model, load, optimizer=optimizer)
+            )
+            savings.append(
+                100.0
+                * (base.total_power - opt.total_power)
+                / base.total_power
+            )
+            for rec in (opt, base):
+                if rec.temperature_violated:
+                    violations += 1
+                overshoot = max(
+                    overshoot, rec.max_t_cpu - testbed.config.t_max
+                )
+        points.append(
+            NoisePoint(
+                noise_scale=float(scale),
+                avg_savings_percent=float(np.mean(savings)),
+                violations=violations,
+                worst_overshoot_kelvin=float(overshoot),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class KnobIsolation:
+    """Average savings attributable to each knob in isolation."""
+
+    ac_control_only_percent: float
+    consolidation_only_percent: float
+    both_percent: float
+
+    def table(self) -> str:
+        """Text rendering of the knob-isolation ablation."""
+        return "\n".join(
+            [
+                "Knob isolation (average savings vs #2, bottom-up/no knobs):",
+                f"  AC control only (#5):      {self.ac_control_only_percent:5.1f}%",
+                f"  consolidation only (#3):   {self.consolidation_only_percent:5.1f}%",
+                f"  both + optimal (#8):       {self.both_percent:5.1f}%",
+            ]
+        )
+
+
+def run_knob_isolation(
+    context: EvaluationContext | None = None,
+) -> KnobIsolation:
+    """Decompose the total saving into per-knob contributions."""
+    ctx = context or default_context()
+    sweeps = numbered_sweeps(ctx, [2, 3, 5, 8])
+    labels = list(sweeps)
+    base = average_power(sweeps[labels[0]])
+    consol = average_power(sweeps[labels[1]])
+    ac = average_power(sweeps[labels[2]])
+    both = average_power(sweeps[labels[3]])
+    return KnobIsolation(
+        ac_control_only_percent=100.0 * (base - ac) / base,
+        consolidation_only_percent=100.0 * (base - consol) / base,
+        both_percent=100.0 * (base - both) / base,
+    )

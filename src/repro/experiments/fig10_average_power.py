@@ -1,0 +1,50 @@
+"""Fig. 10 reproduction: average power of all methods.
+
+The paper aggregates each method's power across the load scenarios into
+one average (its Fig. 10 / "Average Power of All Method").  The expected
+ordering: the holistic solution (#8) is cheapest, followed by #7; the
+no-knob baselines (#1, #2) are the most expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.energy import average_power
+from repro.analysis.series import format_table
+from repro.experiments.common import (
+    EvaluationContext,
+    all_paper_sweeps,
+    default_context,
+)
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Regenerated Fig. 10 data: one average per method, ranked."""
+
+    averages: dict[str, float]
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """Methods sorted cheapest first."""
+        return sorted(self.averages.items(), key=lambda kv: kv[1])
+
+    def table(self) -> str:
+        """Text rendering of the ranked averages."""
+        rows = [
+            [name, f"{power:.1f}"] for name, power in self.ranking()
+        ]
+        return format_table(
+            ["method", "avg power (W)"],
+            rows,
+            title="fig10: average power of all methods (over 10-100% load)",
+        )
+
+
+def run_fig10(context: EvaluationContext | None = None) -> Fig10Result:
+    """Regenerate Fig. 10 (per-method average over the load axis)."""
+    ctx = context or default_context()
+    sweeps = all_paper_sweeps(ctx)
+    return Fig10Result(
+        averages={name: average_power(recs) for name, recs in sweeps.items()}
+    )

@@ -1,0 +1,72 @@
+"""Fig. 3 reproduction: predicted vs measured stable CPU temperature.
+
+The paper sweeps one server across loads at several cooling set points,
+waits ~200 s for the CPU temperature to stabilize, and shows the linear
+model of Eq. 8 predicting the stable temperature "with a few percent
+error".  This driver regenerates the sweep for a chosen machine and
+reports the prediction error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import EvaluationContext, default_context
+from repro.profiling.campaign import ThermalTrace
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Regenerated Fig. 3 data and accuracy numbers for one machine."""
+
+    trace: ThermalTrace
+    alpha: float
+    beta: float
+    gamma: float
+    rmse_kelvin: float
+    max_error_kelvin: float
+    mean_relative_error_percent: float
+
+    def table(self) -> str:
+        """Text rendering of the measured/predicted stable temperatures."""
+        lines = [
+            f"Fig. 3: stable CPU temperature, machine {self.trace.machine}",
+            f"  fitted T_cpu = {self.alpha:.3f}*T_ac + {self.beta:.4f}*P "
+            f"+ {self.gamma:.2f}   (RMSE = {self.rmse_kelvin:.2f} K)",
+            f"  {'T_ac(K)':>8} {'P(W)':>7} {'meas(K)':>8} {'pred(K)':>8}",
+        ]
+        for i in range(len(self.trace.t_ac)):
+            lines.append(
+                f"  {self.trace.t_ac[i]:>8.2f} {self.trace.power[i]:>7.1f} "
+                f"{self.trace.measured_t_cpu[i]:>8.2f} "
+                f"{self.trace.predicted_t_cpu[i]:>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_fig3(
+    context: EvaluationContext | None = None, machine: int = 10
+) -> Fig3Result:
+    """Regenerate Fig. 3 for one machine of the profiled rack."""
+    ctx = context or default_context()
+    traces = ctx.profiling.thermal_traces
+    if not 0 <= machine < len(traces):
+        raise ConfigurationError(
+            f"machine must be in [0, {len(traces) - 1}], got {machine}"
+        )
+    trace = traces[machine]
+    node = ctx.model.nodes[machine]
+    err = trace.predicted_t_cpu - trace.measured_t_cpu
+    rel = np.abs(err) / trace.measured_t_cpu
+    return Fig3Result(
+        trace=trace,
+        alpha=node.alpha,
+        beta=node.beta,
+        gamma=node.gamma,
+        rmse_kelvin=float(np.sqrt(np.mean(err**2))),
+        max_error_kelvin=float(np.max(np.abs(err))),
+        mean_relative_error_percent=float(100.0 * np.mean(rel)),
+    )

@@ -1,0 +1,75 @@
+"""Fig. 5 reproduction: the effect of consolidation.
+
+The paper compares "similar methods with and without consolidation" —
+the pairs (#2, #3), (#5, #7) and (#6, #8) — and observes that
+consolidation "substantially increases total energy savings", most of all
+at low load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.series import FigureSeries, records_to_series
+from repro.experiments.common import (
+    EvaluationContext,
+    default_context,
+    numbered_sweeps,
+)
+
+#: Scenario pairs differing only in consolidation.
+FIG5_PAIRS: tuple[tuple[int, int], ...] = ((2, 3), (5, 7), (6, 8))
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Regenerated Fig. 5 data."""
+
+    series: FigureSeries
+    pair_low_load_savings_percent: dict[str, float]
+    pair_high_load_savings_percent: dict[str, float]
+
+    def table(self) -> str:
+        """Text rendering: the series plus per-pair consolidation gains."""
+        lines = [self.series.table(), "", "consolidation savings by pair:"]
+        for pair in self.pair_low_load_savings_percent:
+            lines.append(
+                f"  {pair}: {self.pair_low_load_savings_percent[pair]:5.1f}% "
+                f"at lowest load, "
+                f"{self.pair_high_load_savings_percent[pair]:5.1f}% at full load"
+            )
+        return "\n".join(lines)
+
+
+def run_fig5(context: EvaluationContext | None = None) -> Fig5Result:
+    """Regenerate Fig. 5 (methods #2, #3, #5, #7, #6, #8 vs load)."""
+    ctx = context or default_context()
+    numbers = [n for pair in FIG5_PAIRS for n in pair]
+    sweeps = numbered_sweeps(ctx, numbers)
+    series = records_to_series(
+        "fig5",
+        "Comparison of similar methods with and without consolidation",
+        sweeps,
+    )
+    low: dict[str, float] = {}
+    high: dict[str, float] = {}
+    labels = list(sweeps)
+    for j, (base_n, cons_n) in enumerate(FIG5_PAIRS):
+        base = sweeps[labels[2 * j]]
+        cons = sweeps[labels[2 * j + 1]]
+        key = f"#{base_n} vs #{cons_n}"
+        low[key] = (
+            100.0
+            * (base[0].total_power - cons[0].total_power)
+            / base[0].total_power
+        )
+        high[key] = (
+            100.0
+            * (base[-1].total_power - cons[-1].total_power)
+            / base[-1].total_power
+        )
+    return Fig5Result(
+        series=series,
+        pair_low_load_savings_percent=low,
+        pair_high_load_savings_percent=high,
+    )

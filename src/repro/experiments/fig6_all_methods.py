@@ -1,0 +1,43 @@
+"""Fig. 6 reproduction: total power of all eight methods vs total load."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.series import FigureSeries, records_to_series
+from repro.experiments.common import (
+    EvaluationContext,
+    all_paper_sweeps,
+    default_context,
+)
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Regenerated Fig. 6 data."""
+
+    series: FigureSeries
+    winner_per_load: tuple[str, ...]
+
+    def table(self) -> str:
+        """Text rendering plus the per-load winner row."""
+        lines = [self.series.table(), "", "cheapest method per load:"]
+        for x, winner in zip(self.series.x, self.winner_per_load):
+            lines.append(f"  {x:5.1f}%: {winner}")
+        return "\n".join(lines)
+
+
+def run_fig6(context: EvaluationContext | None = None) -> Fig6Result:
+    """Regenerate Fig. 6 (all eight numbered scenarios vs load)."""
+    ctx = context or default_context()
+    sweeps = all_paper_sweeps(ctx)
+    series = records_to_series(
+        "fig6", "Power consumption of all methods vs total load", sweeps
+    )
+    winners = []
+    labels = list(series.series)
+    for i in range(len(series.x)):
+        winners.append(
+            min(labels, key=lambda label: series.series[label][i])
+        )
+    return Fig6Result(series=series, winner_per_load=tuple(winners))

@@ -1,0 +1,61 @@
+"""Fig. 7 reproduction: load distribution strategies without consolidation.
+
+With AC control on and every machine powered (#4 Even, #5 Bottom-up,
+#6 Optimal), the paper observes "the optimal load distribution computed by
+our heuristic saves the most energy compared to the other two baselines".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.series import FigureSeries, records_to_series
+from repro.experiments.common import (
+    EvaluationContext,
+    default_context,
+    numbered_sweeps,
+)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Regenerated Fig. 7 data."""
+
+    series: FigureSeries
+    optimal_vs_even_avg_percent: float
+    optimal_vs_bottom_up_avg_percent: float
+
+    def table(self) -> str:
+        """Text rendering plus the aggregate savings of the optimal row."""
+        return (
+            self.series.table()
+            + "\n\n"
+            + f"optimal saves on average {self.optimal_vs_even_avg_percent:.1f}% "
+            f"vs even and {self.optimal_vs_bottom_up_avg_percent:.1f}% vs bottom-up"
+        )
+
+
+def run_fig7(context: EvaluationContext | None = None) -> Fig7Result:
+    """Regenerate Fig. 7 (#4 vs #5 vs #6 across load)."""
+    ctx = context or default_context()
+    sweeps = numbered_sweeps(ctx, [4, 5, 6])
+    series = records_to_series(
+        "fig7",
+        "AC control, no consolidation: different load distribution strategies",
+        sweeps,
+    )
+    labels = list(sweeps)
+    even, bottom, optimal = (sweeps[label] for label in labels)
+    ove = [
+        100.0 * (e.total_power - o.total_power) / e.total_power
+        for e, o in zip(even, optimal)
+    ]
+    ovb = [
+        100.0 * (b.total_power - o.total_power) / b.total_power
+        for b, o in zip(bottom, optimal)
+    ]
+    return Fig7Result(
+        series=series,
+        optimal_vs_even_avg_percent=sum(ove) / len(ove),
+        optimal_vs_bottom_up_avg_percent=sum(ovb) / len(ovb),
+    )

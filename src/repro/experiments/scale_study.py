@@ -1,0 +1,97 @@
+"""Scale study: does a bigger room mean bigger savings?
+
+The paper conjectures: "It is expected that more savings can be achieved
+in larger-scale systems" (and, in the introduction, that "larger spatial
+diversity gives rise to more opportunities for optimization").  This
+driver rebuilds the testbed at several rack sizes — scaling the cooling
+unit with the heat load, as a facility designer would — re-profiles each,
+and measures the #8-vs-#7 savings band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.series import format_table
+from repro.experiments.common import default_context, numbered_sweeps
+from repro.testbed.rack import TestbedConfig
+
+
+def scaled_config(n_machines: int) -> TestbedConfig:
+    """A machine-room configuration sized for ``n_machines``.
+
+    Cooler air flow, heat-removal capacity, blower power and the room
+    volume/envelope all scale with the rack (a facility for 40 machines
+    is not cooled by the 20-machine unit).
+    """
+    scale = n_machines / 20.0
+    return TestbedConfig(
+        n_machines=n_machines,
+        cooler_flow=1.0 * scale,
+        cooler_q_max=12000.0 * scale,
+        cooler_fan_power=3000.0 * scale,
+        room_volume=50.0 * scale,
+        envelope_conductance=65.0 * np.sqrt(scale),
+    )
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Savings of the full solution at one rack size."""
+
+    n_machines: int
+    avg_savings_percent: float
+    best_savings_percent: float
+
+
+@dataclass(frozen=True)
+class ScaleStudyResult:
+    """The whole scale sweep."""
+
+    points: tuple[ScalePoint, ...]
+
+    def table(self) -> str:
+        """Text rendering of the scale study."""
+        rows = [
+            [
+                str(p.n_machines),
+                f"{p.avg_savings_percent:.1f}",
+                f"{p.best_savings_percent:.1f}",
+            ]
+            for p in self.points
+        ]
+        return format_table(
+            ["machines", "avg #8 vs #7 savings (%)", "best (%)"],
+            rows,
+            title="Scale study: savings vs rack size "
+            "(paper: larger systems should save more)",
+        )
+
+
+def run_scale_study(
+    sizes: Sequence[int] = (10, 20, 40),
+    seed: int = 2012,
+    load_fractions: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+) -> ScaleStudyResult:
+    """Re-profile and evaluate the rack at several sizes."""
+    points = []
+    for n in sizes:
+        ctx = default_context(seed=seed, config=scaled_config(n))
+        sweeps = numbered_sweeps(ctx, [7, 8], load_fractions)
+        labels = list(sweeps)
+        bottom, optimal = sweeps[labels[0]], sweeps[labels[1]]
+        savings = [
+            100.0 * (b.total_power - o.total_power) / b.total_power
+            for b, o in zip(bottom, optimal)
+        ]
+        points.append(
+            ScalePoint(
+                n_machines=n,
+                avg_savings_percent=float(np.mean(savings)),
+                best_savings_percent=float(np.max(savings)),
+            )
+        )
+    return ScaleStudyResult(points=tuple(points))

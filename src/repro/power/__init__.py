@@ -1,0 +1,5 @@
+"""Server power-draw models (ground truth for the simulated testbed)."""
+
+from repro.power.server import ServerPowerModel
+
+__all__ = ["ServerPowerModel"]

@@ -1,0 +1,38 @@
+"""Profiling: estimate the model coefficients from (simulated) measurements.
+
+Mirrors Section IV-A of the paper.  The coefficients of the power law
+(Eq. 9), of each machine's thermal model (Eq. 8), and of the cooler
+(Eq. 10) are "computed via off-the-shelf linear regression" from load
+sweeps — here run against the simulated testbed through the same noisy
+sensors the paper used (Watts-up-Pro meters, lm-sensors).
+"""
+
+from repro.profiling.campaign import (
+    CampaignConfig,
+    ProfilingCampaign,
+    ProfilingResult,
+)
+from repro.profiling.online import (
+    OnlinePowerEstimator,
+    OnlineThermalEstimator,
+    RecursiveLeastSquares,
+)
+from repro.profiling.regression import (
+    FitReport,
+    fit_cooler_model,
+    fit_node_coefficients,
+    fit_power_model,
+)
+
+__all__ = [
+    "FitReport",
+    "fit_power_model",
+    "fit_node_coefficients",
+    "fit_cooler_model",
+    "CampaignConfig",
+    "ProfilingCampaign",
+    "ProfilingResult",
+    "RecursiveLeastSquares",
+    "OnlinePowerEstimator",
+    "OnlineThermalEstimator",
+]

@@ -1,0 +1,400 @@
+"""Profiling campaign: load sweeps against the simulated testbed.
+
+Reproduces the paper's Section IV-A procedure:
+
+- **Power model** — one machine is stepped through 0%, 10%, 25%, 50% and
+  75% of its measured capacity, dwelling 15 minutes per level with short
+  idle gaps, while a Watts-up-Pro meter samples at 1 Hz.  The smoothed
+  trace is regressed onto Eq. 9 (``w1``, ``w2`` are shared by all machines
+  since the hardware is identical).
+- **Thermal model** — the whole rack is swept across several cooling set
+  points and load levels; at each operating point the system settles
+  (~200 s in the paper; we use the algebraic steady state, or full
+  transient integration when ``transient=True``) and each machine's CPU
+  temperature, power, and the supply-air temperature are recorded through
+  noisy sensors.  Per-machine regression gives ``alpha_i, beta_i,
+  gamma_i`` (Eq. 8).
+- **Cooler model** — the same sweep provides ``(T_SP, T_ac, P_ac)``
+  telemetry for fitting Eq. 10 and the set-point actuation map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProfilingError
+from repro.core.model import CoolerModel, NodeCoefficients, PowerModel, SystemModel
+from repro.power.server import ServerPowerModel
+from repro.profiling.regression import (
+    FitReport,
+    fit_cooler_model,
+    fit_node_coefficients,
+    fit_power_model,
+)
+from repro.thermal.sensors import PowerMeter, TemperatureSensor, low_pass_filter
+from repro.thermal.simulation import RoomSimulation
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of the profiling campaign (paper defaults).
+
+    Attributes
+    ----------
+    power_levels:
+        Utilization fractions for the power sweep (paper: 0, 10%, 25%,
+        50%, 75%).
+    power_dwell:
+        Seconds spent at each power level (paper: 15 minutes).
+    power_idle_gap:
+        Idle seconds between levels ("left idle for a short period").
+    set_points:
+        Cooling set points (K) for the thermal sweep.
+    thermal_loads:
+        Utilization fractions for the thermal sweep.
+    samples_per_point:
+        Sensor readings averaged into samples at each operating point.
+    settle_time:
+        Transient settling time per point when ``transient`` integration
+        is requested (paper: ~200 s).
+    transient:
+        Integrate the full ODEs to reach each operating point instead of
+        using the algebraic steady state.  Slower, used by tests/examples
+        to validate that both paths agree.
+    filter_alpha:
+        Exponential low-pass smoothing factor applied to the power trace.
+    t_ac_max:
+        Upper end of the supply band the optimizer may command, K.
+    sensor_noise_scale:
+        Multiplier on every sensor's noise standard deviation (1.0 is
+        the realistic default; 0.0 gives noise-free fits, used by the
+        profiling-robustness ablation).  Quantization is unaffected.
+    staggered_points:
+        Number of extra operating points per set point in which machines
+        run *different* loads (alternating high/low).  Uniform-only sweeps
+        leave each machine's power perfectly correlated with the room
+        total, which silently folds room-level effects into ``beta_i``;
+        staggering decorrelates them and measurably improves the fit.
+    thermal_guard_band:
+        Derating (K) subtracted from ``T_max`` in the fitted system model.
+        The linear model is accurate only "with a few percent error"
+        (paper, Fig. 3), so an operator optimizing exactly to ``T_max``
+        would overshoot by the residual; the guard band absorbs it.  The
+        evaluation still checks the *true* constraint.
+    """
+
+    power_levels: tuple[float, ...] = (0.0, 0.10, 0.25, 0.50, 0.75)
+    power_dwell: float = 900.0
+    power_idle_gap: float = 120.0
+    set_points: tuple[float, ...] = (295.15, 297.15, 299.15, 301.15)
+    thermal_loads: tuple[float, ...] = (0.0, 0.25, 0.50, 0.75, 1.0)
+    samples_per_point: int = 20
+    settle_time: float = 600.0
+    transient: bool = False
+    filter_alpha: float = 0.05
+    t_ac_max: float = 302.15
+    staggered_points: int = 2
+    thermal_guard_band: float = 1.0
+    sensor_noise_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.power_levels or not self.thermal_loads:
+            raise ConfigurationError("sweeps must have at least one level")
+        if any(not 0.0 <= f <= 1.0 for f in self.power_levels):
+            raise ConfigurationError("power levels must be fractions in [0,1]")
+        if any(not 0.0 <= f <= 1.0 for f in self.thermal_loads):
+            raise ConfigurationError("thermal loads must be fractions in [0,1]")
+        if len(self.set_points) < 2:
+            raise ConfigurationError(
+                "thermal sweep needs >= 2 set points to identify alpha"
+            )
+        if self.samples_per_point < 1:
+            raise ConfigurationError("samples_per_point must be >= 1")
+        if self.staggered_points < 0:
+            raise ConfigurationError("staggered_points must be >= 0")
+        if self.thermal_guard_band < 0.0:
+            raise ConfigurationError("thermal_guard_band must be >= 0")
+        if self.sensor_noise_scale < 0.0:
+            raise ConfigurationError("sensor_noise_scale must be >= 0")
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """The Fig. 2 data: the staircase power-profiling trace."""
+
+    time: np.ndarray
+    load: np.ndarray
+    true_power: np.ndarray
+    measured: np.ndarray
+    filtered: np.ndarray
+    predicted: np.ndarray
+
+
+@dataclass(frozen=True)
+class ThermalTrace:
+    """The Fig. 3 data for one machine: measured vs predicted stable temps."""
+
+    machine: int
+    t_ac: np.ndarray
+    power: np.ndarray
+    measured_t_cpu: np.ndarray
+    predicted_t_cpu: np.ndarray
+
+
+@dataclass(frozen=True)
+class ProfilingResult:
+    """Everything a campaign produces."""
+
+    system_model: SystemModel
+    power_report: FitReport
+    node_reports: tuple[FitReport, ...]
+    cooler_report: FitReport
+    power_trace: PowerTrace
+    thermal_traces: tuple[ThermalTrace, ...]
+
+
+class ProfilingCampaign:
+    """Runs the paper's profiling procedure against a simulated room.
+
+    Parameters
+    ----------
+    simulation:
+        The simulated machine room (ground truth hidden behind sensors).
+    power_models:
+        Per-machine ground-truth power laws (used to *generate* the watt
+        draw the meters observe — the campaign itself only ever sees
+        sensor readings).
+    t_max:
+        The CPU temperature constraint the resulting
+        :class:`~repro.core.model.SystemModel` will carry, K.
+    rng:
+        Random generator for all sensor noise.
+    config:
+        Sweep parameters; defaults follow the paper.
+    """
+
+    def __init__(
+        self,
+        simulation: RoomSimulation,
+        power_models: Sequence[ServerPowerModel],
+        t_max: float,
+        rng: np.random.Generator,
+        config: Optional[CampaignConfig] = None,
+    ) -> None:
+        if len(power_models) != simulation.room.node_count:
+            raise ConfigurationError(
+                f"{simulation.room.node_count} nodes but "
+                f"{len(power_models)} power models"
+            )
+        self.simulation = simulation
+        self.power_models = list(power_models)
+        self.t_max = t_max
+        self.rng = rng
+        self.config = config or CampaignConfig()
+        scale = self.config.sensor_noise_scale
+        self.power_meter = PowerMeter(rng=rng, noise_std=0.5 * scale)
+        self.temp_sensor = TemperatureSensor(rng=rng, noise_std=0.3 * scale)
+        # CPU temperatures come from lm-sensors (1 K steps); the cooling
+        # unit's own supply-air probe is a finer instrument (0.1 K), as on
+        # real CRAC line cards.
+        self.supply_sensor = TemperatureSensor(
+            rng=rng, noise_std=0.2 * scale, resolution=0.1
+        )
+
+    # ------------------------------------------------------------------ #
+    # Power profiling (Fig. 2)
+    # ------------------------------------------------------------------ #
+
+    def profile_power(self) -> tuple[PowerModel, FitReport, PowerTrace]:
+        """Step machine 0 through the load staircase and fit Eq. 9."""
+        cfg = self.config
+        machine = self.power_models[0]
+        times, loads, true_p, measured = [], [], [], []
+        t = 0.0
+
+        def dwell(load: float, duration: float) -> None:
+            nonlocal t
+            power = machine.power(load)
+            for _ in range(int(duration)):
+                times.append(t)
+                loads.append(load)
+                true_p.append(power)
+                measured.append(self.power_meter.read(power))
+                t += 1.0
+
+        for i, level in enumerate(cfg.power_levels):
+            if i > 0 and cfg.power_idle_gap > 0:
+                dwell(0.0, cfg.power_idle_gap)
+            dwell(level * machine.capacity, cfg.power_dwell)
+
+        time_arr = np.asarray(times)
+        load_arr = np.asarray(loads)
+        true_arr = np.asarray(true_p)
+        meas_arr = np.asarray(measured)
+        filt_arr = low_pass_filter(meas_arr, cfg.filter_alpha)
+        # Drop the filter's warm-up transient after each level change.
+        warm = max(10, int(3.0 / cfg.filter_alpha))
+        stable = np.ones(len(time_arr), dtype=bool)
+        change_points = np.flatnonzero(np.diff(load_arr) != 0.0) + 1
+        for cp in np.concatenate([[0], change_points]):
+            stable[cp : cp + warm] = False
+        model, report = fit_power_model(load_arr[stable], filt_arr[stable])
+        predicted = model.w1 * load_arr + model.w2
+        trace = PowerTrace(
+            time=time_arr,
+            load=load_arr,
+            true_power=true_arr,
+            measured=meas_arr,
+            filtered=filt_arr,
+            predicted=predicted,
+        )
+        return model, report, trace
+
+    # ------------------------------------------------------------------ #
+    # Thermal + cooler profiling (Fig. 3)
+    # ------------------------------------------------------------------ #
+
+    def _observe_point(
+        self, set_point: float, fractions: Sequence[float]
+    ) -> tuple[np.ndarray, np.ndarray, float, float, float]:
+        """Drive the room to one operating point; return sensor data.
+
+        ``fractions`` gives each machine's utilization.  Returns
+        ``(t_cpu_meas, p_meas, t_ac_meas, p_ac_meas, sum_p_meas)`` with
+        per-sample averaging already applied.
+        """
+        n = self.simulation.room.node_count
+        powers = np.array(
+            [
+                pm.power(f * pm.capacity)
+                for pm, f in zip(self.power_models, fractions)
+            ]
+        )
+        if self.config.transient:
+            self.simulation.set_node_powers(powers, on_mask=[True] * n)
+            self.simulation.set_set_point(set_point)
+            self.simulation.run(self.config.settle_time)
+            t_cpu = self.simulation.t_cpu.copy()
+            t_ac = self.simulation.t_ac
+            p_ac = self.simulation.cooling_power
+        else:
+            state = self.simulation.steady_state(
+                powers=powers, on_mask=[True] * n, set_point=set_point
+            )
+            t_cpu = state.t_cpu
+            t_ac = state.t_ac
+            p_ac = state.p_ac
+        reps = self.config.samples_per_point
+        t_cpu_meas = np.mean(
+            [self.temp_sensor.read_many(t_cpu) for _ in range(reps)], axis=0
+        )
+        p_meas = np.mean(
+            [self.power_meter.read_many(powers) for _ in range(reps)], axis=0
+        )
+        t_ac_meas = float(
+            np.mean([self.supply_sensor.read(t_ac) for _ in range(reps)])
+        )
+        p_ac_meas = float(
+            np.mean([self.power_meter.read(p_ac) for _ in range(reps)])
+        )
+        return t_cpu_meas, p_meas, t_ac_meas, p_ac_meas, float(p_meas.sum())
+
+    def profile_thermal(
+        self,
+    ) -> tuple[
+        list[NodeCoefficients],
+        list[FitReport],
+        CoolerModel,
+        FitReport,
+        list[ThermalTrace],
+    ]:
+        """Sweep set points x loads; fit Eq. 8 per machine and Eq. 10."""
+        cfg = self.config
+        n = self.simulation.room.node_count
+        t_ac_rows: list[float] = []
+        t_sp_rows: list[float] = []
+        p_ac_rows: list[float] = []
+        sum_p_rows: list[float] = []
+        per_node_tcpu: list[list[float]] = [[] for _ in range(n)]
+        per_node_p: list[list[float]] = [[] for _ in range(n)]
+        patterns: list[np.ndarray] = [
+            np.full(n, fraction) for fraction in cfg.thermal_loads
+        ]
+        for s in range(cfg.staggered_points):
+            # Alternating high/low loads (and the mirrored pattern) so
+            # each machine's power decorrelates from the room total.
+            high, low = 0.85, 0.25
+            pattern = np.where(np.arange(n) % 2 == s % 2, high, low)
+            patterns.append(pattern)
+        for sp in cfg.set_points:
+            for pattern in patterns:
+                t_cpu_m, p_m, t_ac_m, p_ac_m, sum_p = self._observe_point(
+                    sp, pattern
+                )
+                t_ac_rows.append(t_ac_m)
+                t_sp_rows.append(sp)
+                p_ac_rows.append(p_ac_m)
+                sum_p_rows.append(sum_p)
+                for i in range(n):
+                    per_node_tcpu[i].append(float(t_cpu_m[i]))
+                    per_node_p[i].append(float(p_m[i]))
+
+        t_ac_arr = np.asarray(t_ac_rows)
+        nodes: list[NodeCoefficients] = []
+        reports: list[FitReport] = []
+        traces: list[ThermalTrace] = []
+        for i in range(n):
+            p_arr = np.asarray(per_node_p[i])
+            t_arr = np.asarray(per_node_tcpu[i])
+            coeffs, report = fit_node_coefficients(t_ac_arr, p_arr, t_arr)
+            nodes.append(coeffs)
+            reports.append(report)
+            traces.append(
+                ThermalTrace(
+                    machine=i,
+                    t_ac=t_ac_arr.copy(),
+                    power=p_arr,
+                    measured_t_cpu=t_arr,
+                    predicted_t_cpu=coeffs.alpha * t_ac_arr
+                    + coeffs.beta * p_arr
+                    + coeffs.gamma,
+                )
+            )
+        cooler, cooler_report = fit_cooler_model(
+            np.asarray(t_sp_rows),
+            t_ac_arr,
+            np.asarray(p_ac_rows),
+            np.asarray(sum_p_rows),
+            t_ac_min=self.simulation.cooler.t_ac_min,
+            t_ac_max=cfg.t_ac_max,
+        )
+        return nodes, reports, cooler, cooler_report, traces
+
+    # ------------------------------------------------------------------ #
+    # Full campaign
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> ProfilingResult:
+        """Run both sweeps and assemble the fitted system model."""
+        power_model, power_report, power_trace = self.profile_power()
+        nodes, node_reports, cooler, cooler_report, traces = (
+            self.profile_thermal()
+        )
+        system = SystemModel(
+            power=power_model,
+            nodes=tuple(nodes),
+            cooler=cooler,
+            t_max=self.t_max - self.config.thermal_guard_band,
+            capacities=tuple(pm.capacity for pm in self.power_models),
+        )
+        return ProfilingResult(
+            system_model=system,
+            power_report=power_report,
+            node_reports=tuple(node_reports),
+            cooler_report=cooler_report,
+            power_trace=power_trace,
+            thermal_traces=tuple(traces),
+        )

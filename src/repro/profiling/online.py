@@ -1,0 +1,177 @@
+"""Online model estimation: recursive least squares with forgetting.
+
+The paper profiles once, offline.  Real machine rooms drift — heatsinks
+gather dust (``theta`` falls, so ``beta`` rises), seasons move the
+building temperature behind ``gamma``, firmware changes shift the power
+curve.  This module provides the standard operational complement: a
+recursive least-squares (RLS) estimator with exponential forgetting that
+refines the fitted coefficients from routine telemetry, so the
+controller's model tracks the plant without re-running the campaign.
+
+``RecursiveLeastSquares`` is the generic engine;
+``OnlineThermalEstimator`` and ``OnlinePowerEstimator`` wrap it with the
+paper's regressor layouts (Eq. 8 and Eq. 9) and produce the same model
+objects the optimizer consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.model import NodeCoefficients, PowerModel
+from repro.errors import ConfigurationError, ProfilingError
+
+
+class RecursiveLeastSquares:
+    """Exponentially weighted recursive least squares.
+
+    Parameters
+    ----------
+    n_params:
+        Dimension of the coefficient vector.
+    forgetting:
+        Forgetting factor ``lambda`` in ``(0, 1]``; 1.0 weights all
+        history equally, smaller values track drift faster at the cost
+        of noisier estimates.  The effective memory is roughly
+        ``1 / (1 - lambda)`` samples.
+    initial_coefficients:
+        Starting estimate (e.g. the offline campaign's fit); defaults to
+        zeros.
+    initial_covariance:
+        Diagonal magnitude of the initial covariance.  Large values mean
+        "trust the data, not the prior".
+    """
+
+    def __init__(
+        self,
+        n_params: int,
+        forgetting: float = 0.995,
+        initial_coefficients: Optional[Sequence[float]] = None,
+        initial_covariance: float = 1e4,
+    ) -> None:
+        if n_params < 1:
+            raise ConfigurationError(
+                f"n_params must be positive, got {n_params}"
+            )
+        if not 0.0 < forgetting <= 1.0:
+            raise ConfigurationError(
+                f"forgetting must be in (0, 1], got {forgetting}"
+            )
+        if initial_covariance <= 0.0:
+            raise ConfigurationError(
+                f"initial_covariance must be positive, got {initial_covariance}"
+            )
+        self.n_params = n_params
+        self.forgetting = forgetting
+        if initial_coefficients is None:
+            self.coefficients = np.zeros(n_params)
+        else:
+            arr = np.asarray(initial_coefficients, dtype=float)
+            if arr.shape != (n_params,):
+                raise ConfigurationError(
+                    f"expected {n_params} initial coefficients, got {arr.shape}"
+                )
+            self.coefficients = arr.copy()
+        self.covariance = np.eye(n_params) * initial_covariance
+        self.samples_seen = 0
+
+    def update(self, regressors: Sequence[float], target: float) -> float:
+        """Fold in one sample; returns the pre-update prediction residual."""
+        x = np.asarray(regressors, dtype=float)
+        if x.shape != (self.n_params,):
+            raise ConfigurationError(
+                f"expected {self.n_params} regressors, got {x.shape}"
+            )
+        if not (np.all(np.isfinite(x)) and np.isfinite(target)):
+            raise ProfilingError("non-finite sample fed to RLS")
+        lam = self.forgetting
+        px = self.covariance @ x
+        gain = px / (lam + float(x @ px))
+        residual = float(target - x @ self.coefficients)
+        self.coefficients = self.coefficients + gain * residual
+        self.covariance = (
+            self.covariance - np.outer(gain, px)
+        ) / lam
+        self.samples_seen += 1
+        return residual
+
+    def predict(self, regressors: Sequence[float]) -> float:
+        """Model output for one regressor vector."""
+        x = np.asarray(regressors, dtype=float)
+        return float(x @ self.coefficients)
+
+
+class OnlinePowerEstimator:
+    """Tracks the Eq. 9 power law from (load, power) telemetry."""
+
+    def __init__(
+        self,
+        initial: Optional[PowerModel] = None,
+        forgetting: float = 0.995,
+    ) -> None:
+        start = None
+        if initial is not None:
+            start = [initial.w1, initial.w2]
+        self._rls = RecursiveLeastSquares(
+            2, forgetting=forgetting, initial_coefficients=start,
+            initial_covariance=1.0 if initial is not None else 1e4,
+        )
+
+    def observe(self, load: float, power: float) -> float:
+        """Fold in one telemetry sample; returns the residual (W)."""
+        return self._rls.update([load, 1.0], power)
+
+    @property
+    def samples_seen(self) -> int:
+        """Telemetry samples folded in so far."""
+        return self._rls.samples_seen
+
+    def current_model(self) -> PowerModel:
+        """The tracked power law (raises until it is physical)."""
+        w1, w2 = self._rls.coefficients
+        if w1 <= 0.0:
+            raise ProfilingError(
+                f"online power fit not yet physical (w1={w1:.4f}); "
+                "feed more samples"
+            )
+        return PowerModel(w1=float(w1), w2=float(max(0.0, w2)))
+
+
+class OnlineThermalEstimator:
+    """Tracks one machine's Eq. 8 coefficients from routine telemetry."""
+
+    def __init__(
+        self,
+        initial: Optional[NodeCoefficients] = None,
+        forgetting: float = 0.995,
+    ) -> None:
+        start = None
+        if initial is not None:
+            start = [initial.alpha, initial.beta, initial.gamma]
+        self._rls = RecursiveLeastSquares(
+            3, forgetting=forgetting, initial_coefficients=start,
+            initial_covariance=1.0 if initial is not None else 1e4,
+        )
+
+    def observe(self, t_ac: float, power: float, t_cpu: float) -> float:
+        """Fold in one telemetry sample; returns the residual (K)."""
+        return self._rls.update([t_ac, power, 1.0], t_cpu)
+
+    @property
+    def samples_seen(self) -> int:
+        """Telemetry samples folded in so far."""
+        return self._rls.samples_seen
+
+    def current_model(self) -> NodeCoefficients:
+        """The tracked thermal coefficients (raises until physical)."""
+        alpha, beta, gamma = self._rls.coefficients
+        if alpha <= 0.0 or beta <= 0.0:
+            raise ProfilingError(
+                "online thermal fit not yet physical "
+                f"(alpha={alpha:.4f}, beta={beta:.4f}); feed more samples"
+            )
+        return NodeCoefficients(
+            alpha=float(alpha), beta=float(beta), gamma=float(gamma)
+        )

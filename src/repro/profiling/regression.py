@@ -1,0 +1,180 @@
+"""Least-mean-squares fits for the paper's model equations.
+
+The paper: "The involved coefficients can be computed via off-the-shelf
+linear regression.  In our work, we use least mean squares fitting
+technique for coefficient estimation."  Each fitter returns the model
+object plus a :class:`FitReport` quantifying goodness of fit, and raises
+:class:`~repro.errors.ProfilingError` on degenerate inputs instead of
+silently producing garbage coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProfilingError
+from repro.core.model import CoolerModel, NodeCoefficients, PowerModel
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Goodness-of-fit summary for one regression.
+
+    Attributes
+    ----------
+    rmse:
+        Root-mean-square residual, in the fitted quantity's unit.
+    r_squared:
+        Coefficient of determination (1.0 is a perfect fit).
+    n_samples:
+        Number of samples used.
+    max_abs_error:
+        Largest absolute residual.
+    """
+
+    rmse: float
+    r_squared: float
+    n_samples: int
+    max_abs_error: float
+
+
+def _least_squares(
+    design: np.ndarray, target: np.ndarray, what: str
+) -> tuple[np.ndarray, FitReport]:
+    if design.shape[0] != target.shape[0]:
+        raise ProfilingError(
+            f"{what}: design has {design.shape[0]} rows but target has "
+            f"{target.shape[0]}"
+        )
+    if design.shape[0] < design.shape[1]:
+        raise ProfilingError(
+            f"{what}: {design.shape[0]} samples cannot determine "
+            f"{design.shape[1]} coefficients"
+        )
+    if not (np.all(np.isfinite(design)) and np.all(np.isfinite(target))):
+        raise ProfilingError(f"{what}: non-finite values in the data")
+    # Columns (other than an intercept) must actually vary.
+    for col in range(design.shape[1]):
+        column = design[:, col]
+        if np.allclose(column, column[0]) and not np.allclose(column, 1.0):
+            raise ProfilingError(
+                f"{what}: regressor column {col} is constant; the sweep "
+                "did not vary it"
+            )
+    coef, _, rank, _ = np.linalg.lstsq(design, target, rcond=None)
+    if rank < design.shape[1]:
+        raise ProfilingError(f"{what}: design matrix is rank-deficient")
+    residuals = target - design @ coef
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((target - target.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0.0 else 1.0
+    report = FitReport(
+        rmse=float(np.sqrt(ss_res / target.shape[0])),
+        r_squared=r2,
+        n_samples=int(target.shape[0]),
+        max_abs_error=float(np.max(np.abs(residuals))) if residuals.size else 0.0,
+    )
+    return coef, report
+
+
+def fit_power_model(
+    loads: np.ndarray, powers: np.ndarray
+) -> tuple[PowerModel, FitReport]:
+    """Fit Eq. 9 (``P = w1 * L + w2``) from a load/power sweep."""
+    loads = np.asarray(loads, dtype=float)
+    powers = np.asarray(powers, dtype=float)
+    design = np.column_stack([loads, np.ones_like(loads)])
+    coef, report = _least_squares(design, powers, "power model")
+    w1, w2 = float(coef[0]), float(coef[1])
+    if w1 <= 0.0:
+        raise ProfilingError(
+            f"power fit produced non-positive w1={w1:.4f}; the sweep data "
+            "does not show power increasing with load"
+        )
+    return PowerModel(w1=w1, w2=max(0.0, w2)), report
+
+
+def fit_node_coefficients(
+    t_ac: np.ndarray, power: np.ndarray, t_cpu: np.ndarray
+) -> tuple[NodeCoefficients, FitReport]:
+    """Fit Eq. 8 (``T_cpu = alpha*T_ac + beta*P + gamma``) for one machine.
+
+    The sweep must vary both the cooling set point and the machine's load
+    (the paper profiles each machine at several set points and load
+    levels).
+    """
+    t_ac = np.asarray(t_ac, dtype=float)
+    power = np.asarray(power, dtype=float)
+    t_cpu = np.asarray(t_cpu, dtype=float)
+    design = np.column_stack([t_ac, power, np.ones_like(t_ac)])
+    coef, report = _least_squares(design, t_cpu, "thermal model")
+    alpha, beta, gamma = (float(c) for c in coef)
+    if alpha <= 0.0 or beta <= 0.0:
+        raise ProfilingError(
+            f"thermal fit produced alpha={alpha:.4f}, beta={beta:.4f}; "
+            "both must be positive for a physical machine"
+        )
+    return NodeCoefficients(alpha=alpha, beta=beta, gamma=gamma), report
+
+
+def fit_cooler_model(
+    t_sp: np.ndarray,
+    t_ac: np.ndarray,
+    p_ac: np.ndarray,
+    server_power: np.ndarray,
+    t_ac_min: float,
+    t_ac_max: float,
+) -> tuple[CoolerModel, FitReport]:
+    """Fit Eq. 10 and the set-point actuation map from cooler telemetry.
+
+    Two regressions share the same sweep data:
+
+    - ``P_ac = c_f_ac * (T_SP - T_ac) + idle`` — Eq. 10 with an intercept
+      for the blower floor, giving the lumped slope the optimizer's cost
+      model needs;
+    - ``T_SP = e0 + e1 * T_ac + e2 * sum(P)`` — the actuation map used to
+      translate a desired supply temperature into a set-point command
+      ("we empirically measured the relation between T_ac and the set
+      point ... at different server loads").
+
+    The returned :class:`FitReport` describes the Eq. 10 fit (the one the
+    energy model uses).
+    """
+    t_sp = np.asarray(t_sp, dtype=float)
+    t_ac = np.asarray(t_ac, dtype=float)
+    p_ac = np.asarray(p_ac, dtype=float)
+    server_power = np.asarray(server_power, dtype=float)
+    delta = t_sp - t_ac
+    if np.allclose(delta, 0.0):
+        raise ProfilingError(
+            "cooler fit: T_SP equals T_AC throughout the sweep"
+        )
+    design_p = np.column_stack([delta, np.ones_like(delta)])
+    coef, report = _least_squares(design_p, p_ac, "cooler power model")
+    c_f_ac = float(coef[0])
+    idle_power = max(0.0, float(coef[1]))
+    if c_f_ac <= 0.0:
+        raise ProfilingError(
+            f"cooler fit produced non-positive c_f_ac={c_f_ac:.3f}"
+        )
+    design = np.column_stack(
+        [np.ones_like(t_ac), t_ac, server_power]
+    )
+    act_coef, _ = _least_squares(design, t_sp, "actuation map")
+    e0, e1, e2 = (float(c) for c in act_coef)
+    if e1 <= 0.0:
+        raise ProfilingError(
+            f"actuation fit produced non-increasing map (e1={e1:.4f})"
+        )
+    model = CoolerModel(
+        c_f_ac=c_f_ac,
+        actuation_offset=e0,
+        actuation_t_ac=e1,
+        actuation_power=e2,
+        t_ac_min=t_ac_min,
+        t_ac_max=t_ac_max,
+        idle_power=idle_power,
+    )
+    return model, report

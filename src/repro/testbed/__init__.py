@@ -1,0 +1,23 @@
+"""The simulated 20-machine testbed (stand-in for the paper's rack).
+
+:mod:`repro.testbed.rack` assembles the ground-truth physical system — one
+rack of identical servers in a machine room with a chilled-water cooling
+unit — from realistic constants documented in DESIGN.md.
+:mod:`repro.testbed.experiment` runs control policies against it and
+accounts energy, temperatures, and throughput.
+"""
+
+from repro.testbed.experiment import (
+    ExperimentRecord,
+    Testbed,
+    WorkloadRunResult,
+)
+from repro.testbed.rack import TestbedConfig, build_testbed
+
+__all__ = [
+    "TestbedConfig",
+    "build_testbed",
+    "Testbed",
+    "ExperimentRecord",
+    "WorkloadRunResult",
+]

@@ -1,0 +1,61 @@
+"""Hand-built fitted models for experimentation and testing.
+
+Sometimes you want a :class:`~repro.core.model.SystemModel` with *known*
+coefficients — no simulator, no profiling noise — to study the optimizer
+in isolation.  :func:`make_system_model` builds one with a controlled
+thermal gradient: machine 0 is the coolest (as at the bottom of the
+rack), and the spread is a single parameter.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import (
+    CoolerModel,
+    NodeCoefficients,
+    PowerModel,
+    SystemModel,
+)
+
+
+def make_system_model(
+    n: int = 4,
+    w1: float = 1.5,
+    w2: float = 40.0,
+    t_max: float = 343.15,
+    capacity: float = 40.0,
+    alpha_spread: float = 0.3,
+) -> SystemModel:
+    """A fitted model with controlled coefficients.
+
+    Machine ``i`` gets ``alpha = 0.95 - alpha_spread * i / (n - 1)`` and
+    a matching ``gamma`` so lower-index machines are cooler, mirroring
+    the rack geometry; ``beta`` rises slightly toward the top.  The
+    cooler constants match the default testbed's fitted values.
+    """
+    nodes = []
+    for i in range(n):
+        frac = i / (n - 1) if n > 1 else 0.0
+        alpha = 0.95 - alpha_spread * frac
+        nodes.append(
+            NodeCoefficients(
+                alpha=alpha,
+                beta=0.45 + 0.05 * frac,
+                gamma=(1.0 - alpha) * 298.0,
+            )
+        )
+    cooler = CoolerModel(
+        c_f_ac=6700.0,
+        actuation_offset=18.0,
+        actuation_t_ac=0.94,
+        actuation_power=0.00055,
+        t_ac_min=283.15,
+        t_ac_max=302.15,
+        idle_power=3000.0,
+    )
+    return SystemModel(
+        power=PowerModel(w1=w1, w2=w2),
+        nodes=tuple(nodes),
+        cooler=cooler,
+        t_max=t_max,
+        capacities=tuple([capacity] * n),
+    )

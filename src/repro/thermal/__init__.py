@@ -1,0 +1,36 @@
+"""Thermal substrate: the simulated machine room.
+
+This subpackage stands in for the paper's physical testbed (one rack of 20
+Dell R210 machines cooled by a Liebert Challenger 3000).  It implements:
+
+- :mod:`repro.thermal.node` — the per-computing-unit thermal ODEs
+  (paper Eqs. 1-2) and their steady state (Eqs. 3-5);
+- :mod:`repro.thermal.room` — the machine-room air model that produces the
+  affine inlet-temperature relation of Eq. 7 as emergent behaviour;
+- :mod:`repro.thermal.cooling` — a chilled-water cooling unit with an
+  internal PI control loop regulating *exhaust* (return) air temperature to
+  the set point, exactly the control structure the paper describes;
+- :mod:`repro.thermal.simulation` — the coupled integrator plus a fast
+  algebraic steady-state solver;
+- :mod:`repro.thermal.sensors` — noisy, quantized sensor emulations
+  (Watts-up-Pro power meters, lm-sensors CPU temperatures) and the low-pass
+  filter the paper applies before regression.
+"""
+
+from repro.thermal.cooling import CoolingUnit
+from repro.thermal.node import ComputeNodeThermal, NodeThermalState
+from repro.thermal.room import MachineRoom
+from repro.thermal.sensors import PowerMeter, TemperatureSensor, low_pass_filter
+from repro.thermal.simulation import RoomSimulation, SteadyState
+
+__all__ = [
+    "ComputeNodeThermal",
+    "NodeThermalState",
+    "MachineRoom",
+    "CoolingUnit",
+    "RoomSimulation",
+    "SteadyState",
+    "PowerMeter",
+    "TemperatureSensor",
+    "low_pass_filter",
+]

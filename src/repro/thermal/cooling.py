@@ -1,0 +1,168 @@
+"""Cooling unit emulation (paper Section II-B).
+
+The paper's machine room is cooled by a Liebert Challenger 3000 whose
+internal control loop manipulates chilled-water flow to hold the *exhaust*
+(return) air temperature at a set point ``T_SP``.  We reproduce that
+structure: a PI controller measures the return air temperature, compares it
+to the set point, and commands a cooling capacity ``q_cool`` (watts of heat
+removed from the air stream).  The supply temperature follows from the
+enthalpy balance across the coil::
+
+    T_ac = T_return - q_cool / (f_ac * c_air)
+
+and the electrical power drawn by the unit is ``P_ac = q_cool / eta`` with
+efficiency ``eta < 1``, which at steady state (return held at ``T_SP``)
+reduces exactly to the paper's Eq. 10::
+
+    P_ac = (c_air / eta) * f_ac * (T_SP - T_ac)  =  c * f_ac * (T_SP - T_ac)
+
+The unit has actuator limits: a maximum capacity ``q_max`` and a minimum
+supply temperature ``t_ac_min`` (the coil cannot chill below its water
+temperature).  When saturated, the room floats above the set point — the
+simulation reports this honestly rather than pretending regulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CoolingUnit:
+    """Chilled-water cooling unit with a PI loop on return-air temperature.
+
+    Parameters
+    ----------
+    supply_flow:
+        Constant air flow ``f_ac`` through the unit, m^3/s.  The real unit
+        keeps this fixed to maintain room air circulation, which is why the
+        paper does not treat flow as a control knob.
+    efficiency:
+        ``eta`` in ``(0, 1]``: electrical-to-heat-removal efficiency.
+    q_max:
+        Maximum heat-removal capacity, W.
+    t_ac_min:
+        Lowest achievable supply-air temperature, K.
+    set_point:
+        Return-air temperature set point ``T_SP``, K.  Mutable: the
+        policies under evaluation command it.
+    fan_power:
+        Constant blower draw while the unit runs, W.  The real unit keeps
+        its air circulation constant regardless of thermal load, so this
+        term is load-independent (and, being constant, never affects which
+        policy wins — but it dominates the low-load energy floor, as in
+        the paper's measurements).
+    kp, ki:
+        PI gains of the internal loop (W/K and W/(K*s)).
+    """
+
+    supply_flow: float
+    efficiency: float
+    q_max: float
+    t_ac_min: float
+    set_point: float
+    fan_power: float = 0.0
+    kp: float = 4000.0
+    ki: float = 120.0
+    _integral: float = field(default=0.0, repr=False)
+    _q_cool: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.supply_flow <= 0.0:
+            raise ConfigurationError(
+                f"supply_flow must be positive, got {self.supply_flow}"
+            )
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+        if self.q_max <= 0.0:
+            raise ConfigurationError(f"q_max must be positive, got {self.q_max}")
+        if not units.is_valid_temperature(self.t_ac_min):
+            raise ConfigurationError(f"t_ac_min out of range: {self.t_ac_min}")
+        if not units.is_valid_temperature(self.set_point):
+            raise ConfigurationError(f"set_point out of range: {self.set_point}")
+        if self.kp <= 0.0 or self.ki < 0.0:
+            raise ConfigurationError(
+                f"PI gains must be kp > 0, ki >= 0; got kp={self.kp}, ki={self.ki}"
+            )
+        if self.fan_power < 0.0:
+            raise ConfigurationError(
+                f"fan_power must be non-negative, got {self.fan_power}"
+            )
+
+    @property
+    def c(self) -> float:
+        """The paper's lumped cooling constant ``c = c_air / eta``."""
+        return units.C_AIR / self.efficiency
+
+    @property
+    def q_cool(self) -> float:
+        """Heat currently being removed from the air stream, W."""
+        return self._q_cool
+
+    def reset(self) -> None:
+        """Clear the controller state (integral term and commanded capacity)."""
+        self._integral = 0.0
+        self._q_cool = 0.0
+
+    def max_capacity_for_return(self, t_return: float) -> float:
+        """Largest ``q_cool`` that keeps ``T_ac`` at or above ``t_ac_min``."""
+        coil_limit = (
+            (t_return - self.t_ac_min) * self.supply_flow * units.C_AIR
+        )
+        return max(0.0, min(self.q_max, coil_limit))
+
+    def step(self, t_return: float, dt: float) -> tuple[float, float]:
+        """Advance the PI loop by ``dt`` seconds.
+
+        Parameters
+        ----------
+        t_return:
+            Measured return (exhaust) air temperature, K.
+        dt:
+            Step size, seconds.
+
+        Returns
+        -------
+        (t_ac, p_ac):
+            The supply-air temperature (K) and the electrical power the
+            unit draws (W) during this step.
+        """
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        error = t_return - self.set_point
+        limit = self.max_capacity_for_return(t_return)
+        candidate = self.kp * error + self.ki * (self._integral + error * dt)
+        if 0.0 <= candidate <= limit:
+            # Only accumulate the integral while the actuator is not
+            # saturated (conditional anti-windup).
+            self._integral += error * dt
+        self._q_cool = min(max(candidate, 0.0), limit)
+        t_ac = t_return - self._q_cool / (self.supply_flow * units.C_AIR)
+        return t_ac, self._q_cool / self.efficiency + self.fan_power
+
+    def supply_temperature(self, t_return: float) -> float:
+        """Supply temperature for the currently commanded capacity."""
+        return t_return - self._q_cool / (self.supply_flow * units.C_AIR)
+
+    def steady_state_power(self, heat_load: float) -> float:
+        """Electrical power at steady state for a given room heat load, W.
+
+        At steady state the unit removes exactly ``heat_load`` watts from
+        the air, so ``P_ac = heat_load / eta`` — provided the load is within
+        capacity.
+        """
+        if heat_load < 0.0:
+            return self.fan_power
+        return min(heat_load, self.q_max) / self.efficiency + self.fan_power
+
+    def steady_supply_temperature(
+        self, heat_load: float, t_return: float
+    ) -> float:
+        """Supply temperature at steady state for a given heat load, K."""
+        q = min(max(heat_load, 0.0), self.q_max)
+        return t_return - q / (self.supply_flow * units.C_AIR)

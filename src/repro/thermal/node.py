@@ -1,0 +1,133 @@
+"""Per-computing-unit thermal model (paper Section II-A).
+
+A computing unit is a heat source (the CPU) inside an air volume (the box),
+with an air flow through the box.  The paper's dynamic model is::
+
+    dT_cpu/dt = (P - (T_cpu - T_box) * theta) / nu_cpu           (Eq. 1)
+    dT_box/dt = ((T_cpu - T_box) * theta
+                 + F * c_air * (T_in - T_box)) / nu_box          (Eq. 2)
+
+with perfect, immediate mixing inside the box so the outlet temperature
+equals the box temperature (``T_out == T_box``).  At steady state these
+reduce to (Eqs. 3-5)::
+
+    T_cpu = (1/(F * c_air) + 1/theta) * P + T_in
+          =  beta * P + T_in                                     (Eq. 5-6)
+
+``beta`` is the per-node coefficient the paper later fits by regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class NodeThermalState:
+    """Mutable thermal state of one computing unit (temperatures in K)."""
+
+    t_cpu: float
+    t_box: float
+
+    def copy(self) -> "NodeThermalState":
+        """Return an independent copy of this state."""
+        return NodeThermalState(t_cpu=self.t_cpu, t_box=self.t_box)
+
+
+@dataclass(frozen=True)
+class ComputeNodeThermal:
+    """Ground-truth thermal parameters of one computing unit.
+
+    Parameters
+    ----------
+    nu_cpu:
+        Heat capacity of the CPU package and heatsink, J/K.  Sets the
+        dominant thermal time constant (the paper observes ~200 s to reach
+        a stable CPU temperature).
+    nu_box:
+        Heat capacity of the box air volume plus chassis mass, J/K.
+    theta:
+        Heat-exchange rate between CPU and box air, W/K (paper's
+        ``theta^{cpu,box}``).
+    flow:
+        Volumetric air flow through the box, m^3/s (``F_in == F_out``; the
+        box neither stores nor creates air).
+    supply_fraction:
+        Fraction of the intake air drawn directly from the cool-air supply
+        stream; the remainder is recirculated room air.  This is the
+        ground truth behind the paper's ``alpha_i`` (Eq. 7) and encodes the
+        unit's position on the rack: machines near the floor see more cool
+        supply air.
+    """
+
+    nu_cpu: float
+    nu_box: float
+    theta: float
+    flow: float
+    supply_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.nu_cpu <= 0.0 or self.nu_box <= 0.0:
+            raise ConfigurationError(
+                "heat capacities must be positive, got "
+                f"nu_cpu={self.nu_cpu}, nu_box={self.nu_box}"
+            )
+        if self.theta <= 0.0:
+            raise ConfigurationError(f"theta must be positive, got {self.theta}")
+        if self.flow <= 0.0:
+            raise ConfigurationError(f"flow must be positive, got {self.flow}")
+        if not 0.0 < self.supply_fraction <= 1.0:
+            raise ConfigurationError(
+                f"supply_fraction must be in (0, 1], got {self.supply_fraction}"
+            )
+
+    @property
+    def beta(self) -> float:
+        """Ground-truth ``beta`` coefficient of Eq. 6 (K/W).
+
+        ``beta = 1 / (F * c_air) + 1 / theta``: the steady-state CPU
+        temperature rise above the inlet per watt of dissipated power.
+        """
+        return 1.0 / (self.flow * units.C_AIR) + 1.0 / self.theta
+
+    def derivatives(
+        self, state: NodeThermalState, power: float, t_in: float
+    ) -> tuple[float, float]:
+        """Time derivatives ``(dT_cpu/dt, dT_box/dt)`` per Eqs. 1-2.
+
+        Parameters
+        ----------
+        state:
+            Current node temperatures.
+        power:
+            Heat dissipated by the CPU, W.  Zero for a powered-off machine.
+        t_in:
+            Intake air temperature, K.
+        """
+        exchange = (state.t_cpu - state.t_box) * self.theta
+        d_cpu = (power - exchange) / self.nu_cpu
+        d_box = (
+            exchange + self.flow * units.C_AIR * (t_in - state.t_box)
+        ) / self.nu_box
+        return d_cpu, d_box
+
+    def steady_state(self, power: float, t_in: float) -> NodeThermalState:
+        """Steady-state temperatures for constant ``power`` and ``t_in``.
+
+        From Eqs. 3-5: ``T_box = T_in + P / (F * c_air)`` and
+        ``T_cpu = T_box + P / theta``.
+        """
+        t_box = t_in + power / (self.flow * units.C_AIR)
+        t_cpu = t_box + power / self.theta
+        return NodeThermalState(t_cpu=t_cpu, t_box=t_box)
+
+    def time_constant(self) -> float:
+        """Approximate dominant thermal time constant, seconds.
+
+        The CPU pole ``nu_cpu / theta`` dominates (the box air pole is much
+        faster); used by tests and by steady-state detection heuristics.
+        """
+        return self.nu_cpu / self.theta

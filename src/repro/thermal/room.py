@@ -1,0 +1,189 @@
+"""Machine-room air model (the substrate behind paper Eq. 7).
+
+The paper abstracts the whole room into one affine relation per machine::
+
+    T_in_i = alpha_i * T_ac + gamma_i                            (Eq. 7)
+
+Here we build the physical substrate that *produces* that relation.  The
+room is modelled as:
+
+- a cool-air supply stream at temperature ``T_ac`` with total flow
+  ``f_ac`` (from the cooling unit, supplied at the ceiling);
+- one well-mixed bulk air volume at temperature ``T_room`` (the warm
+  region the exhausts feed);
+- per-node intake mixing: node *i* draws its flow ``F_i`` as a blend of
+  ``supply_fraction_i`` parts supply air and the rest bulk room air, so
+  ``T_in_i = m_i * T_ac + (1 - m_i) * T_room`` — exactly Eq. 7's shape
+  with the room temperature folded into ``gamma_i`` once the cooling
+  loop holds the room at its set point;
+- node exhausts and the unused (bypass) part of the supply stream mix
+  back into the bulk volume;
+- an envelope heat gain ``U * (T_env - T_room)`` from the warmer
+  building around the machine room.  This term is what makes the choice
+  of operating temperature matter: a colder room absorbs more heat
+  through its walls and therefore costs more cooling energy, which is
+  the physical trade-off the paper's joint optimization exploits.
+
+Flow bookkeeping is exact: supply in equals return out, and every node's
+intake equals its exhaust, so the bulk volume conserves air mass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.thermal.node import ComputeNodeThermal
+
+
+@dataclass(frozen=True)
+class MachineRoom:
+    """Geometry and air-path model of one machine room.
+
+    Parameters
+    ----------
+    nodes:
+        The computing units in the room, ordered bottom-of-rack first
+        (index 0 is the coolest spot; the cool-allocation baseline fills
+        machines in this order).
+    nu_room:
+        Heat capacity of the bulk room air volume, J/K.
+    envelope_conductance:
+        Heat transfer coefficient ``U`` between the room bulk air and the
+        building environment, W/K.
+    t_env:
+        Temperature of the surrounding building, K.  Must be warmer than
+        typical room temperatures for the envelope gain to be a load on
+        the cooler (machine rooms inside office buildings usually are the
+        cold spot).
+    supply_flow:
+        Total cool-air supply flow ``f_ac`` of the cooling unit, m^3/s.
+        Must exceed the sum of the node supply draws so the bypass flow
+        is non-negative.
+    """
+
+    nodes: tuple[ComputeNodeThermal, ...]
+    nu_room: float
+    envelope_conductance: float
+    t_env: float
+    supply_flow: float
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ConfigurationError("a machine room needs at least one node")
+        if self.nu_room <= 0.0:
+            raise ConfigurationError(
+                f"nu_room must be positive, got {self.nu_room}"
+            )
+        if self.envelope_conductance < 0.0:
+            raise ConfigurationError(
+                "envelope_conductance must be non-negative, got "
+                f"{self.envelope_conductance}"
+            )
+        if not units.is_valid_temperature(self.t_env):
+            raise ConfigurationError(f"t_env out of range: {self.t_env}")
+        if self.supply_flow <= 0.0:
+            raise ConfigurationError(
+                f"supply_flow must be positive, got {self.supply_flow}"
+            )
+        drawn = sum(n.flow * n.supply_fraction for n in self.nodes)
+        if drawn > self.supply_flow:
+            raise ConfigurationError(
+                "nodes draw more supply air than the cooler provides: "
+                f"{drawn:.4f} > {self.supply_flow:.4f} m^3/s"
+            )
+
+    @property
+    def node_count(self) -> int:
+        """Number of computing units in the room."""
+        return len(self.nodes)
+
+    def bypass_flow(self, on_mask: Sequence[bool]) -> float:
+        """Supply flow that bypasses the nodes straight into the bulk, m^3/s.
+
+        Powered-off machines have no fans and draw no air.
+        """
+        drawn = sum(
+            n.flow * n.supply_fraction
+            for n, on in zip(self.nodes, on_mask)
+            if on
+        )
+        return self.supply_flow - drawn
+
+    def inlet_temperature(
+        self, index: int, t_ac: float, t_room: float
+    ) -> float:
+        """Intake air temperature of node ``index`` (K).
+
+        ``T_in_i = m_i * T_ac + (1 - m_i) * T_room`` — the ground truth
+        behind the paper's Eq. 7.
+        """
+        m = self.nodes[index].supply_fraction
+        return m * t_ac + (1.0 - m) * t_room
+
+    def inlet_temperatures(
+        self, t_ac: float, t_room: float
+    ) -> np.ndarray:
+        """Vectorized :meth:`inlet_temperature` over all nodes."""
+        m = np.array([n.supply_fraction for n in self.nodes])
+        return m * t_ac + (1.0 - m) * t_room
+
+    def room_derivative(
+        self,
+        t_room: float,
+        t_ac: float,
+        box_temps: Sequence[float],
+        on_mask: Sequence[bool],
+    ) -> float:
+        """``dT_room/dt`` of the bulk air volume, K/s.
+
+        The bulk receives node exhausts and the bypass supply air, loses
+        air to node intakes and to the cooler return, and exchanges heat
+        with the building envelope.  Net flow is zero by construction, so
+        only the enthalpy differences appear.
+        """
+        heat_in = 0.0
+        for node, t_box, on in zip(self.nodes, box_temps, on_mask):
+            if not on:
+                continue
+            # Exhaust into the bulk minus recirculated intake drawn from it.
+            heat_in += node.flow * units.C_AIR * (t_box - t_room)
+        heat_in += (
+            self.bypass_flow(on_mask) * units.C_AIR * (t_ac - t_room)
+        )
+        heat_in += self.envelope_conductance * (self.t_env - t_room)
+        # The return flow to the cooler leaves at T_room and carries no
+        # enthalpy difference with respect to the bulk itself.
+        return heat_in / self.nu_room
+
+    def steady_heat_load(
+        self, total_server_power: float, t_room: float
+    ) -> float:
+        """Total heat the cooler must remove at steady state, W.
+
+        At steady state every watt of server power plus the envelope gain
+        ends up in the return air stream (see the energy-balance derivation
+        in DESIGN.md):  ``q = sum(P_i) + U * (T_env - T_room)``.
+        """
+        return total_server_power + self.envelope_conductance * (
+            self.t_env - t_room
+        )
+
+    def ground_truth_alpha_gamma(
+        self, t_room: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The exact ``(alpha_i, gamma_i)`` of Eq. 7 at a held room temp.
+
+        Useful for tests that compare fitted coefficients against ground
+        truth.  When the cooling loop regulates the room at its set point,
+        ``alpha_i = m_i`` and ``gamma_i = (1 - m_i) * T_room``.  (The fitted
+        values differ slightly because the room temperature itself moves
+        with set point and load; that residual is the model error the paper
+        accepts.)
+        """
+        m = np.array([n.supply_fraction for n in self.nodes])
+        return m, (1.0 - m) * t_room

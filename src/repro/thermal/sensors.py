@@ -1,0 +1,132 @@
+"""Sensor emulation and trace filtering.
+
+The paper measures server power with Watts-up-Pro meters and CPU
+temperatures with lm-sensors, then smooths both with a low-pass filter
+before regression.  These classes reproduce the measurement path: additive
+Gaussian noise plus quantization, driven by an injected
+:class:`numpy.random.Generator` so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PowerMeter:
+    """Watts-up-Pro style power meter: 1 Hz samples, ~0.5 W noise.
+
+    Parameters
+    ----------
+    noise_std:
+        Standard deviation of the additive Gaussian measurement noise, W.
+    resolution:
+        Quantization step of the reported value, W (the real meter reports
+        tenths of a watt).
+    """
+
+    rng: np.random.Generator
+    noise_std: float = 0.5
+    resolution: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.noise_std < 0.0:
+            raise ConfigurationError(
+                f"noise_std must be non-negative, got {self.noise_std}"
+            )
+        if self.resolution <= 0.0:
+            raise ConfigurationError(
+                f"resolution must be positive, got {self.resolution}"
+            )
+
+    def read(self, true_power: float) -> float:
+        """One noisy, quantized sample of ``true_power`` (W)."""
+        noisy = true_power + self.rng.normal(0.0, self.noise_std)
+        return max(0.0, round(noisy / self.resolution) * self.resolution)
+
+    def read_many(self, true_power: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`read` over an array of true powers."""
+        arr = np.asarray(true_power, dtype=float)
+        noisy = arr + self.rng.normal(0.0, self.noise_std, size=arr.shape)
+        return np.maximum(
+            0.0, np.round(noisy / self.resolution) * self.resolution
+        )
+
+
+@dataclass
+class TemperatureSensor:
+    """lm-sensors style CPU temperature sensor: 1 K steps, ~0.3 K noise."""
+
+    rng: np.random.Generator
+    noise_std: float = 0.3
+    resolution: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.noise_std < 0.0:
+            raise ConfigurationError(
+                f"noise_std must be non-negative, got {self.noise_std}"
+            )
+        if self.resolution <= 0.0:
+            raise ConfigurationError(
+                f"resolution must be positive, got {self.resolution}"
+            )
+
+    def read(self, true_temperature: float) -> float:
+        """One noisy, quantized sample of ``true_temperature`` (K)."""
+        noisy = true_temperature + self.rng.normal(0.0, self.noise_std)
+        return round(noisy / self.resolution) * self.resolution
+
+    def read_many(self, true_temperature: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`read` over an array of true temperatures."""
+        arr = np.asarray(true_temperature, dtype=float)
+        noisy = arr + self.rng.normal(0.0, self.noise_std, size=arr.shape)
+        return np.round(noisy / self.resolution) * self.resolution
+
+
+def low_pass_filter(samples: np.ndarray, alpha: float = 0.05) -> np.ndarray:
+    """First-order exponential low-pass filter.
+
+    The paper smooths measured power and temperature traces with a low-pass
+    filter before fitting (Figs. 2-3).  ``alpha`` is the smoothing factor in
+    ``(0, 1]``: smaller means heavier smoothing.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1:
+        raise ConfigurationError(
+            f"low_pass_filter expects a 1-D trace, got ndim={arr.ndim}"
+        )
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+    if arr.size == 0:
+        return arr.copy()
+    out = np.empty_like(arr)
+    out[0] = arr[0]
+    for i in range(1, arr.size):
+        out[i] = out[i - 1] + alpha * (arr[i] - out[i - 1])
+    return out
+
+
+def moving_average(samples: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average, used for plotting-style smoothing.
+
+    Edge windows shrink symmetrically so the output has the same length as
+    the input.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    if arr.ndim != 1:
+        raise ConfigurationError(
+            f"moving_average expects a 1-D trace, got ndim={arr.ndim}"
+        )
+    half = window // 2
+    out = np.empty_like(arr)
+    for i in range(arr.size):
+        lo = max(0, i - half)
+        hi = min(arr.size, i + half + 1)
+        out[i] = float(np.mean(arr[lo:hi]))
+    return out

@@ -1,0 +1,407 @@
+"""Coupled room/cooler simulation and algebraic steady-state solver.
+
+Two ways to evaluate the simulated testbed:
+
+- :class:`RoomSimulation` integrates the full transient system (per-node
+  Eqs. 1-2, the bulk room air volume, and the cooling unit's PI loop) with
+  a fixed-step RK4 scheme.  Used by the profiling campaign, which — like
+  the paper's experiments — waits for temperatures to settle and samples
+  noisy sensors along the way.
+- :meth:`RoomSimulation.steady_state` solves the same physics algebraically
+  (the steady-state equations are linear once the active saturation mode of
+  the cooler is known).  Used by the evaluation benches, which need many
+  thousands of operating points.
+
+Tests verify that the integrator converges to the algebraic solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError, ConvergenceError, SimulationError
+from repro.thermal.cooling import CoolingUnit
+from repro.thermal.room import MachineRoom
+
+#: Passive box-to-room conductance of a powered-off machine, W/K.  With the
+#: fans stopped there is no forced air flow; a small natural-convection term
+#: lets an off machine relax to room temperature instead of staying hot.
+OFF_NODE_CONDUCTANCE = 1.0
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """Steady-state operating point of the whole room.
+
+    Attributes
+    ----------
+    t_room:
+        Bulk (return) air temperature, K.  Equals the cooler set point when
+        ``regulated`` is true.
+    t_ac:
+        Supply air temperature, K.
+    q_cool:
+        Heat removed from the air stream by the cooler, W.
+    p_ac:
+        Electrical power drawn by the cooling unit, W.
+    t_cpu, t_box, t_in:
+        Per-node temperatures, K (off nodes sit at ``t_room``).
+    server_power:
+        Per-node electrical power, W.
+    regulated:
+        Whether the cooler held the room at its set point (false when
+        saturated at ``q_max`` or at the minimum supply temperature).
+    """
+
+    t_room: float
+    t_ac: float
+    q_cool: float
+    p_ac: float
+    t_cpu: np.ndarray
+    t_box: np.ndarray
+    t_in: np.ndarray
+    server_power: np.ndarray
+    regulated: bool
+
+    @property
+    def total_server_power(self) -> float:
+        """Sum of per-node electrical power, W."""
+        return float(np.sum(self.server_power))
+
+    @property
+    def total_power(self) -> float:
+        """Total room power: servers plus cooling, W."""
+        return self.total_server_power + self.p_ac
+
+    @property
+    def max_cpu_temperature(self) -> float:
+        """Hottest CPU in the room, K."""
+        return float(np.max(self.t_cpu))
+
+
+class RoomSimulation:
+    """Transient simulation of a machine room plus its cooling unit.
+
+    The caller sets per-node electrical power (via
+    :meth:`set_node_powers`) and the cooler set point, then advances time
+    with :meth:`step` / :meth:`run` or asks for the long-run operating
+    point directly with :meth:`steady_state`.
+    """
+
+    def __init__(
+        self,
+        room: MachineRoom,
+        cooler: CoolingUnit,
+        initial_temperature: float = units.celsius_to_kelvin(22.0),
+    ) -> None:
+        if abs(cooler.supply_flow - room.supply_flow) > 1e-9:
+            raise ConfigurationError(
+                "cooler and room disagree on the supply flow: "
+                f"{cooler.supply_flow} vs {room.supply_flow} m^3/s"
+            )
+        self.room = room
+        self.cooler = cooler
+        n = room.node_count
+        self.t_cpu = np.full(n, initial_temperature, dtype=float)
+        self.t_box = np.full(n, initial_temperature, dtype=float)
+        self.t_room = float(initial_temperature)
+        self.t_ac = float(initial_temperature)
+        self.powers = np.zeros(n, dtype=float)
+        self.on_mask = np.ones(n, dtype=bool)
+        self.time = 0.0
+        self._last_p_ac = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Inputs
+    # ------------------------------------------------------------------ #
+
+    def set_node_powers(
+        self, powers: Sequence[float], on_mask: Optional[Sequence[bool]] = None
+    ) -> None:
+        """Set per-node electrical power (W) and optionally the on/off mask.
+
+        A powered-off machine must draw zero power; passing a positive
+        power for an off machine is a caller bug and raises.
+        """
+        arr = np.asarray(powers, dtype=float)
+        if arr.shape != (self.room.node_count,):
+            raise ConfigurationError(
+                f"expected {self.room.node_count} powers, got shape {arr.shape}"
+            )
+        if np.any(arr < 0.0):
+            raise ConfigurationError("node powers must be non-negative")
+        if on_mask is not None:
+            mask = np.asarray(on_mask, dtype=bool)
+            if mask.shape != arr.shape:
+                raise ConfigurationError("on_mask shape must match powers")
+            if np.any(arr[~mask] > 0.0):
+                raise ConfigurationError(
+                    "a powered-off machine cannot draw positive power"
+                )
+            self.on_mask = mask
+        self.powers = arr
+
+    def set_set_point(self, set_point: float) -> None:
+        """Command a new cooler set point (K)."""
+        if not units.is_valid_temperature(set_point):
+            raise ConfigurationError(f"set point out of range: {set_point}")
+        self.cooler.set_point = set_point
+
+    # ------------------------------------------------------------------ #
+    # Transient integration
+    # ------------------------------------------------------------------ #
+
+    def _derivatives(
+        self, t_cpu: np.ndarray, t_box: np.ndarray, t_room: float, t_ac: float
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        d_cpu = np.zeros_like(t_cpu)
+        d_box = np.zeros_like(t_box)
+        room_heat = 0.0
+        for i, node in enumerate(self.room.nodes):
+            exchange = (t_cpu[i] - t_box[i]) * node.theta
+            if self.on_mask[i]:
+                t_in = (
+                    node.supply_fraction * t_ac
+                    + (1.0 - node.supply_fraction) * t_room
+                )
+                d_cpu[i] = (self.powers[i] - exchange) / node.nu_cpu
+                d_box[i] = (
+                    exchange
+                    + node.flow * units.C_AIR * (t_in - t_box[i])
+                ) / node.nu_box
+                room_heat += node.flow * units.C_AIR * (t_box[i] - t_room)
+            else:
+                # Fans off: only a weak passive coupling to the room.
+                leak = OFF_NODE_CONDUCTANCE * (t_room - t_box[i])
+                d_cpu[i] = -exchange / node.nu_cpu
+                d_box[i] = (exchange + leak) / node.nu_box
+                room_heat -= leak
+        room_heat += (
+            self.room.bypass_flow(self.on_mask)
+            * units.C_AIR
+            * (t_ac - t_room)
+        )
+        room_heat += self.room.envelope_conductance * (
+            self.room.t_env - t_room
+        )
+        return d_cpu, d_box, room_heat / self.room.nu_room
+
+    def step(self, dt: float = 0.5) -> None:
+        """Advance the simulation by ``dt`` seconds (RK4 on the thermal
+        states; the cooler's PI loop updates once per step)."""
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        t_ac, p_ac = self.cooler.step(self.t_room, dt)
+        self.t_ac = t_ac
+        self._last_p_ac = p_ac
+
+        def deriv(state: tuple[np.ndarray, np.ndarray, float]):
+            return self._derivatives(state[0], state[1], state[2], t_ac)
+
+        s0 = (self.t_cpu, self.t_box, self.t_room)
+        k1 = deriv(s0)
+        s1 = (
+            self.t_cpu + 0.5 * dt * k1[0],
+            self.t_box + 0.5 * dt * k1[1],
+            self.t_room + 0.5 * dt * k1[2],
+        )
+        k2 = deriv(s1)
+        s2 = (
+            self.t_cpu + 0.5 * dt * k2[0],
+            self.t_box + 0.5 * dt * k2[1],
+            self.t_room + 0.5 * dt * k2[2],
+        )
+        k3 = deriv(s2)
+        s3 = (
+            self.t_cpu + dt * k3[0],
+            self.t_box + dt * k3[1],
+            self.t_room + dt * k3[2],
+        )
+        k4 = deriv(s3)
+        self.t_cpu = self.t_cpu + dt / 6.0 * (
+            k1[0] + 2 * k2[0] + 2 * k3[0] + k4[0]
+        )
+        self.t_box = self.t_box + dt / 6.0 * (
+            k1[1] + 2 * k2[1] + 2 * k3[1] + k4[1]
+        )
+        self.t_room = self.t_room + dt / 6.0 * (
+            k1[2] + 2 * k2[2] + 2 * k3[2] + k4[2]
+        )
+        self.time += dt
+        if not (
+            np.all(np.isfinite(self.t_cpu))
+            and np.isfinite(self.t_room)
+            and units.MIN_PHYSICAL_TEMPERATURE
+            < self.t_room
+            < units.MAX_PHYSICAL_TEMPERATURE
+        ):
+            raise SimulationError(
+                f"thermal state diverged at t={self.time:.1f}s "
+                f"(t_room={self.t_room})"
+            )
+
+    def run(self, duration: float, dt: float = 0.5) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        steps = int(round(duration / dt))
+        for _ in range(steps):
+            self.step(dt)
+
+    def run_until_steady(
+        self,
+        dt: float = 0.5,
+        tolerance: float = 1e-4,
+        max_duration: float = 36000.0,
+    ) -> None:
+        """Integrate until all temperature derivatives fall below
+        ``tolerance`` K/s, or raise :class:`ConvergenceError`."""
+        elapsed = 0.0
+        while elapsed < max_duration:
+            self.step(dt)
+            elapsed += dt
+            d_cpu, d_box, d_room = self._derivatives(
+                self.t_cpu, self.t_box, self.t_room, self.t_ac
+            )
+            rates = [
+                float(np.max(np.abs(d_cpu))),
+                float(np.max(np.abs(d_box))),
+                abs(d_room),
+            ]
+            if max(rates) < tolerance and elapsed > 10.0 * dt:
+                return
+        raise ConvergenceError(
+            f"room did not reach steady state within {max_duration} s"
+        )
+
+    @property
+    def cooling_power(self) -> float:
+        """Electrical power the cooler drew during the last step, W."""
+        return self._last_p_ac
+
+    @property
+    def total_power(self) -> float:
+        """Total electrical power, servers plus cooling, W."""
+        return float(np.sum(self.powers)) + self._last_p_ac
+
+    def inlet_temperatures(self) -> np.ndarray:
+        """Current per-node intake temperatures, K."""
+        return self.room.inlet_temperatures(self.t_ac, self.t_room)
+
+    # ------------------------------------------------------------------ #
+    # Algebraic steady state
+    # ------------------------------------------------------------------ #
+
+    def steady_state(
+        self,
+        powers: Optional[Sequence[float]] = None,
+        on_mask: Optional[Sequence[bool]] = None,
+        set_point: Optional[float] = None,
+    ) -> SteadyState:
+        """Solve the long-run operating point without integrating.
+
+        Arguments default to the simulation's current inputs.  The solver
+        first assumes the cooler regulates (room temperature equals the set
+        point); if the required capacity violates an actuator limit it
+        re-solves the consistent saturated mode.
+        """
+        p = (
+            np.asarray(powers, dtype=float)
+            if powers is not None
+            else self.powers.copy()
+        )
+        mask = (
+            np.asarray(on_mask, dtype=bool)
+            if on_mask is not None
+            else self.on_mask.copy()
+        )
+        if p.shape != (self.room.node_count,) or mask.shape != p.shape:
+            raise ConfigurationError("powers/on_mask shape mismatch")
+        if np.any(p[~mask] > 0.0):
+            raise ConfigurationError(
+                "a powered-off machine cannot draw positive power"
+            )
+        sp = self.cooler.set_point if set_point is None else float(set_point)
+
+        total_power = float(np.sum(p[mask]))
+        f_c = self.cooler.supply_flow * units.C_AIR
+        u = self.room.envelope_conductance
+        t_env = self.room.t_env
+
+        # Regulated mode: T_room == T_SP.
+        q_needed = self.room.steady_heat_load(total_power, sp)
+        coil_limit = (sp - self.cooler.t_ac_min) * f_c
+        if 0.0 <= q_needed <= min(self.cooler.q_max, coil_limit):
+            t_room = sp
+            q = q_needed
+            regulated = True
+        elif q_needed < 0.0:
+            # Room would float below the set point even with the cooler
+            # off (can only happen if the building is colder than the set
+            # point); equilibrium with q == 0.
+            if u <= 0.0:
+                raise ConvergenceError(
+                    "no steady state: zero heat load and no envelope path"
+                )
+            t_room = t_env + total_power / u
+            q = 0.0
+            regulated = False
+        else:
+            # Saturated: try the q_max mode, then the coil-limited mode.
+            t_room, q = self._saturated_mode(total_power, f_c, u, t_env, sp)
+            regulated = False
+
+        t_ac = t_room - q / f_c
+        t_in = self.room.inlet_temperatures(t_ac, t_room)
+        n = self.room.node_count
+        t_cpu = np.empty(n)
+        t_box = np.empty(n)
+        for i, node in enumerate(self.room.nodes):
+            if mask[i]:
+                state = node.steady_state(p[i], t_in[i])
+                t_cpu[i] = state.t_cpu
+                t_box[i] = state.t_box
+            else:
+                t_cpu[i] = t_room
+                t_box[i] = t_room
+                t_in[i] = t_room
+        return SteadyState(
+            t_room=t_room,
+            t_ac=t_ac,
+            q_cool=q,
+            p_ac=self.cooler.steady_state_power(q),
+            t_cpu=t_cpu,
+            t_box=t_box,
+            t_in=t_in,
+            server_power=np.where(mask, p, 0.0),
+            regulated=regulated,
+        )
+
+    def _saturated_mode(
+        self, total_power: float, f_c: float, u: float, t_env: float, sp: float
+    ) -> tuple[float, float]:
+        """Solve the steady state when the cooler cannot hold the set point."""
+        candidates: list[tuple[float, float]] = []
+        if u > 0.0:
+            # Mode A: capacity-limited at q_max.
+            t_room_a = t_env - (self.cooler.q_max - total_power) / u
+            t_ac_a = t_room_a - self.cooler.q_max / f_c
+            if t_room_a >= sp and t_ac_a >= self.cooler.t_ac_min - 1e-9:
+                candidates.append((t_room_a, self.cooler.q_max))
+        # Mode B: coil-limited at t_ac_min.
+        t_room_b = (total_power + u * t_env + f_c * self.cooler.t_ac_min) / (
+            f_c + u
+        )
+        q_b = (t_room_b - self.cooler.t_ac_min) * f_c
+        if t_room_b >= sp and 0.0 <= q_b <= self.cooler.q_max + 1e-9:
+            candidates.append((t_room_b, min(q_b, self.cooler.q_max)))
+        if not candidates:
+            raise ConvergenceError(
+                "cooler saturated with no consistent steady state "
+                f"(load {total_power:.0f} W exceeds what the unit can reject)"
+            )
+        # If both modes are consistent the physically binding one is the
+        # one yielding the lower capacity.
+        return min(candidates, key=lambda c: c[1])

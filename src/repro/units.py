@@ -1,0 +1,78 @@
+"""Physical constants, units, and conversion helpers (paper Table I).
+
+The paper works in SI units throughout; so does this package:
+
+==================  ==================  =========================================
+Variable            Unit                Physical meaning
+==================  ==================  =========================================
+``T``               K                   temperature (CPU, box, inlet, room)
+``nu`` (heat cap.)  J/K                 heat capacity of CPU / box air volume
+``theta``           J/(K*s) == W/K      heat-exchange rate CPU <-> box air
+``F``               m^3/s               volumetric air flow
+``c_air``           J/(K*m^3)           volumetric heat capacity of air
+``P``               J/s == W            heat-producing / power-draw rate
+==================  ==================  =========================================
+
+Internally everything is Kelvin; :func:`celsius_to_kelvin` and
+:func:`kelvin_to_celsius` exist for human-facing I/O only.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Offset between the Celsius and Kelvin scales.
+KELVIN_OFFSET = 273.15
+
+#: Volumetric heat capacity of air near room temperature, J/(K*m^3).
+#: (specific heat ~1005 J/(kg*K) times density ~1.2 kg/m^3).
+C_AIR = 1206.0
+
+#: Absolute-zero guard: no simulated temperature may fall below this (K).
+MIN_PHYSICAL_TEMPERATURE = 150.0
+
+#: Sanity ceiling for simulated temperatures (K); beyond this the thermal
+#: integrator is assumed to have diverged.
+MAX_PHYSICAL_TEMPERATURE = 500.0
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a temperature from degrees Celsius to Kelvin."""
+    return celsius + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert a temperature from Kelvin to degrees Celsius."""
+    return kelvin - KELVIN_OFFSET
+
+
+def cfm_to_m3s(cfm: float) -> float:
+    """Convert an air flow from cubic feet per minute to m^3/s.
+
+    Vendor datasheets (server fans, CRAC units) quote CFM; the models in
+    this package use SI.
+    """
+    return cfm * 0.0004719474432
+
+
+def m3s_to_cfm(m3s: float) -> float:
+    """Convert an air flow from m^3/s to cubic feet per minute."""
+    return m3s / 0.0004719474432
+
+
+def watt_hours(power_watts: float, seconds: float) -> float:
+    """Energy (Wh) consumed by a constant draw of ``power_watts`` over ``seconds``."""
+    return power_watts * seconds / 3600.0
+
+
+def joules(power_watts: float, seconds: float) -> float:
+    """Energy (J) consumed by a constant draw of ``power_watts`` over ``seconds``."""
+    return power_watts * seconds
+
+
+def is_valid_temperature(kelvin: float) -> bool:
+    """Whether ``kelvin`` is a finite temperature in the physically sane band."""
+    return (
+        math.isfinite(kelvin)
+        and MIN_PHYSICAL_TEMPERATURE <= kelvin <= MAX_PHYSICAL_TEMPERATURE
+    )

@@ -1,0 +1,39 @@
+"""Workload substrate: the batch text-processing cluster.
+
+The paper drives its testbed with a text-processing application (html files
+in, word histograms out) — long-lived, computationally intensive batch work
+whose total rate is steady and centrally distributed.  This subpackage
+reproduces that substrate:
+
+- :mod:`repro.workload.tasks` — the task model and generator;
+- :mod:`repro.workload.cluster` — servers with on/off lifecycle, queues
+  and processing capacity;
+- :mod:`repro.workload.balancer` — the central load balancer that turns an
+  allocation (tasks/s per machine) into a dispatch schedule.
+"""
+
+from repro.workload.balancer import Allocation, LoadBalancer
+from repro.workload.cluster import Cluster, Server, ServerState
+from repro.workload.tasks import Task, TaskGenerator
+from repro.workload.traces import (
+    LoadTrace,
+    constant_trace,
+    diurnal_trace,
+    ramp_trace,
+    step_trace,
+)
+
+__all__ = [
+    "Task",
+    "TaskGenerator",
+    "Server",
+    "ServerState",
+    "Cluster",
+    "Allocation",
+    "LoadBalancer",
+    "LoadTrace",
+    "constant_trace",
+    "step_trace",
+    "diurnal_trace",
+    "ramp_trace",
+]

@@ -1,0 +1,166 @@
+"""Central load balancer: turns an allocation into a dispatch schedule.
+
+The paper assumes cloud batch workloads whose total rate is steady and
+whose distribution across machines is decided by a central balancer.  An
+:class:`Allocation` is the interface between the optimization layer (which
+produces per-machine rates ``L_i``) and the cluster (which executes them).
+Dispatch uses smooth weighted round-robin, which realizes fractional
+weights exactly in the long run with minimal short-term burstiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.cluster import Cluster, ServerState
+from repro.workload.tasks import Task
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Per-server load assignment (tasks/s), the ``L_i`` of the paper.
+
+    Servers absent from ``rates`` receive no load; whether they remain
+    powered (idle) or are shut down is a separate consolidation decision
+    recorded in ``on_ids``.
+    """
+
+    rates: tuple[float, ...]
+    on_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(r < -1e-12 for r in self.rates):
+            raise ConfigurationError(f"negative rate in allocation: {self.rates}")
+        on = set(self.on_ids)
+        if len(on) != len(self.on_ids):
+            raise ConfigurationError("duplicate ids in on_ids")
+        for i, rate in enumerate(self.rates):
+            if rate > 1e-12 and i not in on:
+                raise ConfigurationError(
+                    f"server {i} has load {rate} but is not in the on-set"
+                )
+
+    @classmethod
+    def build(
+        cls,
+        rates: Mapping[int, float] | Sequence[float],
+        n_servers: int,
+        on_ids: Optional[Sequence[int]] = None,
+    ) -> "Allocation":
+        """Construct from a dict or dense sequence of rates.
+
+        ``on_ids`` defaults to every server with positive rate (pure
+        consolidation); pass an explicit list to keep idle machines on.
+        """
+        dense = [0.0] * n_servers
+        if isinstance(rates, Mapping):
+            for i, rate in rates.items():
+                if not 0 <= i < n_servers:
+                    raise ConfigurationError(f"server id {i} out of range")
+                dense[i] = float(rate)
+        else:
+            if len(rates) != n_servers:
+                raise ConfigurationError(
+                    f"expected {n_servers} rates, got {len(rates)}"
+                )
+            dense = [float(r) for r in rates]
+        if on_ids is None:
+            on_ids = [i for i, r in enumerate(dense) if r > 1e-12]
+        return cls(rates=tuple(dense), on_ids=tuple(sorted(on_ids)))
+
+    @property
+    def total_rate(self) -> float:
+        """Total load of this allocation, tasks/s."""
+        return float(sum(self.rates))
+
+    def rate_of(self, server_id: int) -> float:
+        """Load assigned to one server, tasks/s."""
+        return self.rates[server_id]
+
+    def utilizations(self, capacities: Sequence[float]) -> np.ndarray:
+        """Per-server utilization fractions under this allocation."""
+        caps = np.asarray(capacities, dtype=float)
+        return np.asarray(self.rates) / caps
+
+
+class LoadBalancer:
+    """Smooth weighted round-robin dispatcher over a cluster.
+
+    Each dispatchable server accumulates credit proportional to its
+    allocated rate; the task goes to the server with the highest credit,
+    which then pays the total weight.  This is the classic smooth-WRR
+    scheme (as used by nginx) and achieves the exact long-run split.
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._allocation: Optional[Allocation] = None
+        self._credit = np.zeros(len(cluster), dtype=float)
+        self.dispatched = np.zeros(len(cluster), dtype=int)
+        self.rejected = 0
+
+    @property
+    def allocation(self) -> Optional[Allocation]:
+        """The allocation currently being executed."""
+        return self._allocation
+
+    def set_allocation(self, allocation: Allocation) -> None:
+        """Install a new allocation and reconcile cluster power states.
+
+        Tasks drained from machines being shut down are immediately
+        re-dispatched under the new allocation.
+        """
+        if len(allocation.rates) != len(self.cluster):
+            raise ConfigurationError(
+                "allocation size does not match cluster size"
+            )
+        self._allocation = allocation
+        self._credit = np.zeros(len(self.cluster), dtype=float)
+        orphans = self.cluster.apply_on_set(allocation.on_ids)
+        for task in orphans:
+            self.dispatch(task)
+
+    def _pick(self) -> int:
+        if self._allocation is None:
+            raise ConfigurationError("no allocation installed")
+        weights = np.asarray(self._allocation.rates)
+        total = float(weights.sum())
+        if total <= 0.0:
+            raise ConfigurationError("allocation has zero total rate")
+        self._credit += weights
+        # Only servers that can accept work compete.
+        eligible = [
+            i
+            for i in range(len(self.cluster))
+            if weights[i] > 0.0
+            and self.cluster[i].state
+            in (ServerState.ON, ServerState.BOOTING)
+        ]
+        if not eligible:
+            raise ConfigurationError("no eligible server for dispatch")
+        best = max(eligible, key=lambda i: self._credit[i])
+        self._credit[best] -= total
+        return best
+
+    def dispatch(self, task: Task) -> int:
+        """Route one task; returns the chosen server id."""
+        target = self._pick()
+        self.cluster[target].submit(task)
+        self.dispatched[target] += 1
+        return target
+
+    def dispatch_all(self, tasks: Sequence[Task]) -> None:
+        """Route a batch of arrivals."""
+        for task in tasks:
+            self.dispatch(task)
+
+    def dispatch_fractions(self) -> np.ndarray:
+        """Observed dispatch split (fractions summing to 1, or zeros)."""
+        total = int(self.dispatched.sum())
+        if total == 0:
+            return np.zeros(len(self.cluster))
+        return self.dispatched / total

@@ -1,0 +1,289 @@
+"""Server and cluster lifecycle for the simulated testbed.
+
+Each server has a processing capacity (tasks/s, i.e. work units per
+second), a FIFO work queue, and an on/off lifecycle with a boot delay —
+the operational cost of consolidation decisions.  Power draw follows the
+server's :class:`~repro.power.server.ServerPowerModel` evaluated at the
+work actually performed, so the workload layer and the thermal layer agree
+on every watt.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.power.server import ServerPowerModel
+from repro.workload.tasks import Task
+
+
+class ServerState(enum.Enum):
+    """Lifecycle state of a server."""
+
+    OFF = "off"
+    BOOTING = "booting"
+    ON = "on"
+    FAILED = "failed"
+
+
+class Server:
+    """One machine of the cluster: queue, capacity, lifecycle, power.
+
+    Parameters
+    ----------
+    server_id:
+        Index of the machine (0 is the bottom of the rack).
+    power_model:
+        Ground-truth load-to-power law; also defines the capacity.
+    boot_time:
+        Seconds between :meth:`power_on` and being able to process work.
+    """
+
+    def __init__(
+        self,
+        server_id: int,
+        power_model: ServerPowerModel,
+        boot_time: float = 60.0,
+    ) -> None:
+        if boot_time < 0.0:
+            raise ConfigurationError(
+                f"boot_time must be non-negative, got {boot_time}"
+            )
+        self.server_id = server_id
+        self.power_model = power_model
+        self.boot_time = boot_time
+        self.state = ServerState.ON
+        self._boot_remaining = 0.0
+        self._queue: Deque[Task] = deque()
+        self._queued_work = 0.0
+        self._partial_done = 0.0
+        self._completed = 0
+        self._completed_work = 0.0
+        self._last_utilization = 0.0
+
+    @property
+    def capacity(self) -> float:
+        """Maximum sustainable processing rate, work units per second."""
+        return self.power_model.capacity
+
+    @property
+    def queue_length(self) -> int:
+        """Number of tasks waiting (including the one in progress)."""
+        return len(self._queue)
+
+    @property
+    def queued_work(self) -> float:
+        """Outstanding work units in the queue."""
+        return self._queued_work - self._partial_done
+
+    @property
+    def completed_tasks(self) -> int:
+        """Total tasks finished by this server."""
+        return self._completed
+
+    @property
+    def completed_work(self) -> float:
+        """Total work units finished by this server."""
+        return self._completed_work
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity used during the last tick, in [0, 1]."""
+        return self._last_utilization
+
+    def power_on(self) -> None:
+        """Begin booting (no-op if already on or booting).
+
+        A failed machine cannot be brought back this way; it needs
+        :meth:`repair` first.
+        """
+        if self.state is ServerState.FAILED:
+            raise ConfigurationError(
+                f"server {self.server_id} has failed and needs repair"
+            )
+        if self.state is ServerState.OFF:
+            self.state = ServerState.BOOTING
+            self._boot_remaining = self.boot_time
+
+    def power_off(self) -> None:
+        """Shut down immediately; queued tasks are returned by the caller's
+        balancer on the next dispatch (we drop them here and report)."""
+        if self.state is ServerState.FAILED:
+            return
+        self.state = ServerState.OFF
+        self._boot_remaining = 0.0
+
+    def fail(self) -> list[Task]:
+        """Hard failure: the machine stops instantly.
+
+        Returns the tasks that were queued (including the one in
+        progress, which restarts from scratch elsewhere) so the caller
+        can re-dispatch them.
+        """
+        orphans = self.drain()
+        self.state = ServerState.FAILED
+        self._boot_remaining = 0.0
+        self._last_utilization = 0.0
+        return orphans
+
+    def repair(self) -> None:
+        """Bring a failed machine back to the OFF state (field service)."""
+        if self.state is ServerState.FAILED:
+            self.state = ServerState.OFF
+
+    def drain(self) -> list[Task]:
+        """Remove and return all queued tasks (used before power-off so the
+        balancer can re-dispatch them)."""
+        tasks = list(self._queue)
+        self._queue.clear()
+        self._queued_work = 0.0
+        self._partial_done = 0.0
+        return tasks
+
+    def submit(self, task: Task) -> None:
+        """Enqueue one task.  Only legal on a running or booting server."""
+        if self.state in (ServerState.OFF, ServerState.FAILED):
+            raise ConfigurationError(
+                f"cannot submit to {self.state.value} server {self.server_id}"
+            )
+        self._queue.append(task)
+        self._queued_work += task.work
+
+    def tick(self, dt: float) -> int:
+        """Advance ``dt`` seconds; return the number of tasks completed."""
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        if self.state in (ServerState.OFF, ServerState.FAILED):
+            self._last_utilization = 0.0
+            return 0
+        if self.state is ServerState.BOOTING:
+            self._boot_remaining -= dt
+            self._last_utilization = 0.0
+            if self._boot_remaining <= 0.0:
+                self.state = ServerState.ON
+            return 0
+        budget = self.capacity * dt
+        done = 0
+        used = 0.0
+        while self._queue and budget > 0.0:
+            head = self._queue[0]
+            remaining = head.work - self._partial_done
+            if remaining <= budget:
+                budget -= remaining
+                used += remaining
+                self._queue.popleft()
+                self._queued_work -= head.work
+                self._partial_done = 0.0
+                self._completed += 1
+                self._completed_work += head.work
+                done += 1
+            else:
+                self._partial_done += budget
+                used += budget
+                budget = 0.0
+        self._last_utilization = used / (self.capacity * dt)
+        return done
+
+    def power(self) -> float:
+        """Electrical power draw right now, W.
+
+        A booting machine draws idle power; an off or failed machine
+        draws zero.  Work performed maps through the ground-truth power
+        law.
+        """
+        if self.state in (ServerState.OFF, ServerState.FAILED):
+            return 0.0
+        if self.state is ServerState.BOOTING:
+            return self.power_model.w2
+        return self.power_model.power(self._last_utilization * self.capacity)
+
+
+class Cluster:
+    """The full set of machines, bottom-of-rack first."""
+
+    def __init__(self, servers: Sequence[Server]) -> None:
+        if not servers:
+            raise ConfigurationError("a cluster needs at least one server")
+        ids = [s.server_id for s in servers]
+        if ids != list(range(len(servers))):
+            raise ConfigurationError(
+                f"server ids must be 0..n-1 in order, got {ids}"
+            )
+        self.servers = list(servers)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __getitem__(self, index: int) -> Server:
+        return self.servers[index]
+
+    @property
+    def total_capacity(self) -> float:
+        """Sum of per-server capacities of machines that exist (on or off)."""
+        return sum(s.capacity for s in self.servers)
+
+    @property
+    def online_capacity(self) -> float:
+        """Capacity of machines currently able to accept work."""
+        return sum(
+            s.capacity
+            for s in self.servers
+            if s.state in (ServerState.ON, ServerState.BOOTING)
+        )
+
+    def on_mask(self) -> list[bool]:
+        """Per-server flag: drawing power (on or booting)."""
+        return [
+            s.state in (ServerState.ON, ServerState.BOOTING)
+            for s in self.servers
+        ]
+
+    def failed_ids(self) -> list[int]:
+        """Machines currently in the failed state."""
+        return [
+            s.server_id
+            for s in self.servers
+            if s.state is ServerState.FAILED
+        ]
+
+    def apply_on_set(self, on_ids: Sequence[int]) -> list[Task]:
+        """Power exactly the machines in ``on_ids`` and shut down the rest.
+
+        Returns the tasks drained from machines being shut down so the
+        balancer can re-dispatch them.
+        """
+        wanted = set(on_ids)
+        unknown = wanted - set(range(len(self.servers)))
+        if unknown:
+            raise ConfigurationError(f"unknown server ids: {sorted(unknown)}")
+        failed = wanted & set(self.failed_ids())
+        if failed:
+            raise ConfigurationError(
+                f"cannot power failed machines: {sorted(failed)}"
+            )
+        orphans: list[Task] = []
+        for server in self.servers:
+            if server.server_id in wanted:
+                server.power_on()
+            elif server.state in (ServerState.ON, ServerState.BOOTING):
+                orphans.extend(server.drain())
+                server.power_off()
+        return orphans
+
+    def tick(self, dt: float) -> int:
+        """Advance every server; return total tasks completed this tick."""
+        return sum(s.tick(dt) for s in self.servers)
+
+    def powers(self) -> list[float]:
+        """Per-server electrical power, W."""
+        return [s.power() for s in self.servers]
+
+    def total_power(self) -> float:
+        """Total cluster electrical power, W."""
+        return sum(self.powers())
+
+    def total_completed(self) -> int:
+        """Total tasks completed across the cluster."""
+        return sum(s.completed_tasks for s in self.servers)

@@ -1,0 +1,133 @@
+"""Load traces: time-varying total-load profiles.
+
+The paper optimizes for steady batch load and explicitly defers dynamic
+workloads to future work.  This module provides the load profiles the
+extension layer (:mod:`repro.core.controller`) uses to study that
+regime: a diurnal cloud-batch pattern, step changes, and ramps.  A trace
+maps wall-clock seconds to offered load in tasks/s.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LoadTrace:
+    """A total-load profile over time.
+
+    Attributes
+    ----------
+    profile:
+        Function mapping time (s) to offered load (tasks/s).
+    duration:
+        Length of the trace, s.
+    """
+
+    profile: Callable[[float], float]
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0.0:
+            raise ConfigurationError(
+                f"duration must be positive, got {self.duration}"
+            )
+
+    def load_at(self, t: float) -> float:
+        """Offered load at time ``t`` (clamped to the trace duration)."""
+        clamped = min(max(t, 0.0), self.duration)
+        value = float(self.profile(clamped))
+        return max(0.0, value)
+
+    def sample(self, dt: float) -> np.ndarray:
+        """The trace sampled every ``dt`` seconds (inclusive of t=0)."""
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        times = np.arange(0.0, self.duration + 1e-9, dt)
+        return np.array([self.load_at(t) for t in times])
+
+    def peak(self, dt: float = 60.0) -> float:
+        """Largest sampled load, tasks/s."""
+        return float(np.max(self.sample(dt)))
+
+
+def constant_trace(load: float, duration: float) -> LoadTrace:
+    """A steady load — the paper's own operating regime."""
+    if load < 0.0:
+        raise ConfigurationError(f"load must be non-negative, got {load}")
+    return LoadTrace(profile=lambda t: load, duration=duration)
+
+
+def step_trace(
+    levels: Sequence[float], dwell: float
+) -> LoadTrace:
+    """Piecewise-constant load: ``levels[i]`` for the i-th ``dwell``
+    window (the shape of the paper's profiling campaigns)."""
+    if not levels:
+        raise ConfigurationError("need at least one level")
+    if any(l < 0.0 for l in levels):
+        raise ConfigurationError("levels must be non-negative")
+    if dwell <= 0.0:
+        raise ConfigurationError(f"dwell must be positive, got {dwell}")
+    steps = list(levels)
+
+    def profile(t: float) -> float:
+        index = min(int(t // dwell), len(steps) - 1)
+        return steps[index]
+
+    return LoadTrace(profile=profile, duration=dwell * len(steps))
+
+
+def diurnal_trace(
+    base: float,
+    peak: float,
+    duration: float = 86400.0,
+    peak_time: float = 14.0 * 3600.0,
+    noise_std: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> LoadTrace:
+    """A day-shaped load: a sinusoid between ``base`` (night) and
+    ``peak`` (afternoon), optionally with Gaussian jitter.
+
+    Mirrors the diurnal pattern of batch back-ends that follow user
+    activity (e.g. click-stream processing feeding from live traffic).
+    """
+    if not 0.0 <= base <= peak:
+        raise ConfigurationError(
+            f"need 0 <= base <= peak, got base={base}, peak={peak}"
+        )
+    if noise_std < 0.0:
+        raise ConfigurationError(
+            f"noise_std must be non-negative, got {noise_std}"
+        )
+    if noise_std > 0.0 and rng is None:
+        raise ConfigurationError("noisy traces need an rng")
+    mid = 0.5 * (base + peak)
+    amplitude = 0.5 * (peak - base)
+
+    def profile(t: float) -> float:
+        phase = 2.0 * math.pi * (t - peak_time) / 86400.0
+        value = mid + amplitude * math.cos(phase)
+        if noise_std > 0.0:
+            value += rng.normal(0.0, noise_std)
+        return value
+
+    return LoadTrace(profile=profile, duration=duration)
+
+
+def ramp_trace(
+    start: float, end: float, duration: float
+) -> LoadTrace:
+    """A linear ramp from ``start`` to ``end`` tasks/s."""
+    if start < 0.0 or end < 0.0:
+        raise ConfigurationError("loads must be non-negative")
+    return LoadTrace(
+        profile=lambda t: start + (end - start) * (t / duration),
+        duration=duration,
+    )

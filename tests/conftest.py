@@ -1,0 +1,50 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import SystemModel
+from repro.experiments.common import EvaluationContext, default_context
+from repro.testbed.experiment import Testbed
+from repro.testbed.rack import TestbedConfig, build_testbed
+from repro.testbed.synthetic import make_system_model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for per-test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def testbed() -> Testbed:
+    """One paper-scale (20-machine) simulated testbed for the session."""
+    return build_testbed(seed=2012)
+
+
+@pytest.fixture(scope="session")
+def context() -> EvaluationContext:
+    """Profiled evaluation context shared by integration-level tests."""
+    return default_context(seed=2012)
+
+
+@pytest.fixture(scope="session")
+def small_testbed() -> Testbed:
+    """A 6-machine testbed for tests that enumerate subsets."""
+    return build_testbed(TestbedConfig(n_machines=6), seed=99)
+
+
+
+
+@pytest.fixture
+def system_model() -> SystemModel:
+    """Default 4-machine hand-built system model."""
+    return make_system_model()
+
+
+@pytest.fixture
+def big_system_model() -> SystemModel:
+    """A 10-machine hand-built system model."""
+    return make_system_model(n=10)

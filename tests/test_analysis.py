@@ -1,0 +1,126 @@
+"""Tests for energy accounting and figure-series utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import average_power, percent_savings, savings_summary
+from repro.analysis.series import FigureSeries, format_table, records_to_series
+from repro.errors import ConfigurationError
+from repro.testbed.experiment import ExperimentRecord
+
+
+def record(scenario="a", fraction=0.5, total=1000.0) -> ExperimentRecord:
+    return ExperimentRecord(
+        scenario=scenario,
+        total_load=fraction * 800.0,
+        load_fraction=fraction,
+        machines_on=10,
+        t_sp=298.0,
+        t_ac=295.0,
+        t_room=298.0,
+        max_t_cpu=340.0,
+        server_power=0.3 * total,
+        cooling_power=0.7 * total,
+        total_power=total,
+        temperature_violated=False,
+        regulated=True,
+    )
+
+
+class TestSavings:
+    def test_percent_savings_sign_convention(self):
+        assert percent_savings(1000.0, 900.0) == pytest.approx(10.0)
+        assert percent_savings(1000.0, 1100.0) == pytest.approx(-10.0)
+
+    def test_rejects_non_positive_baseline(self):
+        with pytest.raises(ConfigurationError):
+            percent_savings(0.0, 100.0)
+
+    def test_average_power(self):
+        records = [record(total=p) for p in (1000.0, 2000.0, 3000.0)]
+        assert average_power(records) == pytest.approx(2000.0)
+
+    def test_average_power_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            average_power([])
+
+    def test_savings_summary_aggregates(self):
+        base = [record("b", f, 1000.0) for f in (0.1, 0.5, 1.0)]
+        cand = [record("c", f, p) for f, p in
+                zip((0.1, 0.5, 1.0), (800.0, 900.0, 1000.0))]
+        summary = savings_summary(base, cand)
+        assert summary.best_savings_percent == pytest.approx(20.0)
+        assert summary.best_load_fraction == pytest.approx(0.1)
+        assert summary.worst_savings_percent == pytest.approx(0.0)
+        assert summary.average_savings_percent == pytest.approx(10.0)
+
+    def test_savings_summary_rejects_mismatched_sweeps(self):
+        base = [record("b", 0.1), record("b", 0.5)]
+        cand = [record("c", 0.1), record("c", 0.6)]
+        with pytest.raises(ConfigurationError):
+            savings_summary(base, cand)
+
+    def test_savings_summary_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            savings_summary([record()], [])
+
+    def test_summary_renders(self):
+        base = [record("b", 0.1, 1000.0)]
+        cand = [record("c", 0.1, 950.0)]
+        text = str(savings_summary(base, cand))
+        assert "c vs b" in text
+        assert "5.0%" in text
+
+
+class TestSeries:
+    def test_records_to_series_alignment(self):
+        sweeps = {
+            "m1": [record("m1", f, 1000.0) for f in (0.1, 0.2)],
+            "m2": [record("m2", f, 900.0) for f in (0.1, 0.2)],
+        }
+        series = records_to_series("figX", "test", sweeps)
+        assert series.x == (10.0, 20.0)
+        assert series.series["m1"] == (1000.0, 1000.0)
+
+    def test_records_to_series_rejects_misaligned(self):
+        sweeps = {
+            "m1": [record("m1", 0.1)],
+            "m2": [record("m2", 0.2)],
+        }
+        with pytest.raises(ConfigurationError):
+            records_to_series("figX", "test", sweeps)
+
+    def test_figure_series_validates_lengths(self):
+        with pytest.raises(ConfigurationError):
+            FigureSeries(
+                name="f",
+                title="t",
+                x_label="x",
+                y_label="y",
+                x=(1.0, 2.0),
+                series={"s": (1.0,)},
+            )
+
+    def test_series_table_contains_values(self):
+        sweeps = {"m1": [record("m1", 0.1, 1234.5)]}
+        series = records_to_series("figX", "test title", sweeps)
+        table = series.table()
+        assert "figX" in table
+        assert "1234.5" in table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", "1"], ["bb", "22"]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["1"]])
+
+    def test_title_included(self):
+        assert format_table(["a"], [["1"]], title="T").startswith("T")

@@ -1,0 +1,85 @@
+"""Tests for the power-budget (maxL) direction of the optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import JointOptimizer
+from repro.core.select import max_load
+from repro.errors import ConfigurationError, InfeasibleError
+from tests.conftest import make_system_model
+
+
+class TestMaxLoadUnderBudget:
+    def test_budget_binds_at_returned_load(self, big_system_model):
+        optimizer = JointOptimizer(big_system_model)
+        generous = optimizer.solve(
+            0.9 * big_system_model.total_capacity
+        ).predicted_total_power
+        budget = 0.7 * generous
+        load, result = optimizer.max_load_under_budget(budget)
+        assert result.predicted_total_power <= budget + 1e-6
+        # A little more load must break the budget (the bound is tight).
+        above = optimizer.solve(
+            min(load * 1.02, big_system_model.total_capacity)
+        )
+        assert above.predicted_total_power > budget - 1e-6
+
+    def test_monotone_in_budget(self, big_system_model):
+        # "Lmax increases monotonously with P_b" (paper).
+        optimizer = JointOptimizer(big_system_model)
+        ref = optimizer.solve(
+            0.9 * big_system_model.total_capacity
+        ).predicted_total_power
+        loads = [
+            optimizer.max_load_under_budget(frac * ref)[0]
+            for frac in (0.5, 0.7, 0.9)
+        ]
+        assert loads == sorted(loads)
+
+    def test_huge_budget_returns_full_capacity(self, big_system_model):
+        optimizer = JointOptimizer(big_system_model)
+        load, result = optimizer.max_load_under_budget(1e9)
+        assert load == pytest.approx(big_system_model.total_capacity)
+        assert len(result.on_ids) == big_system_model.node_count
+
+    def test_tiny_budget_infeasible(self, big_system_model):
+        optimizer = JointOptimizer(big_system_model)
+        with pytest.raises(InfeasibleError):
+            optimizer.max_load_under_budget(10.0)
+
+    def test_rejects_non_positive_budget(self, big_system_model):
+        optimizer = JointOptimizer(big_system_model)
+        with pytest.raises(ConfigurationError):
+            optimizer.max_load_under_budget(0.0)
+
+    def test_exclusion_lowers_max_load_when_binding(self, big_system_model):
+        optimizer = JointOptimizer(big_system_model)
+        budget = optimizer.solve(
+            0.95 * big_system_model.total_capacity
+        ).predicted_total_power
+        full, _ = optimizer.max_load_under_budget(budget)
+        degraded, result = optimizer.max_load_under_budget(
+            budget, exclude=[0, 1, 2]
+        )
+        assert degraded <= full + 1e-6
+        assert not set(result.on_ids) & {0, 1, 2}
+
+
+class TestMaxLPrimitive:
+    def test_max_load_equals_topk_sum(self):
+        # The Eq. 26 primitive behind the budget question.
+        pairs = [(10.0, 1.0), (8.0, 2.0), (6.0, 0.5)]
+        t = 2.0
+        x = [a - t * b for a, b in pairs]
+        assert max_load(pairs, t, 2) == pytest.approx(
+            sum(sorted(x)[-2:])
+        )
+
+    def test_budget_and_load_queries_are_inverse(self, big_system_model):
+        # solve(L).power and max_load_under_budget(power) invert each
+        # other up to bisection tolerance.
+        optimizer = JointOptimizer(big_system_model)
+        load = 0.55 * big_system_model.total_capacity
+        power = optimizer.solve(load).predicted_total_power
+        recovered, _ = optimizer.max_load_under_budget(power + 1e-3)
+        assert recovered == pytest.approx(load, rel=0.01)

@@ -1,0 +1,120 @@
+"""Tests for the profiling campaign against the simulated testbed."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.profiling.campaign import CampaignConfig, ProfilingCampaign
+from repro.testbed.rack import TestbedConfig, build_testbed
+
+
+class TestCampaignConfig:
+    def test_rejects_single_set_point(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(set_points=(295.0,))
+
+    def test_rejects_out_of_range_levels(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(power_levels=(0.0, 1.5))
+
+    def test_rejects_negative_guard_band(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(thermal_guard_band=-0.5)
+
+
+class TestFittedModelQuality:
+    def test_power_coefficients_near_truth(self, context):
+        model = context.model
+        truth = context.testbed.power_models[0]
+        # Curvature makes the affine fit land slightly above w1.
+        assert model.power.w1 == pytest.approx(truth.w1, rel=0.08)
+        assert model.power.w2 == pytest.approx(truth.w2, rel=0.03)
+
+    def test_power_fit_r_squared(self, context):
+        assert context.profiling.power_report.r_squared > 0.999
+
+    def test_node_fits_tight(self, context):
+        assert all(
+            r.r_squared > 0.999 for r in context.profiling.node_reports
+        )
+        assert all(r.rmse < 0.5 for r in context.profiling.node_reports)
+
+    def test_cooler_slope_near_truth(self, context):
+        cooler = context.testbed.cooler
+        truth_slope = cooler.supply_flow * (
+            1206.0 / cooler.efficiency
+        )
+        assert context.model.cooler.c_f_ac == pytest.approx(
+            truth_slope, rel=0.08
+        )
+
+    def test_cooler_floor_near_fan_power(self, context):
+        assert context.model.cooler.idle_power == pytest.approx(
+            context.testbed.cooler.fan_power, rel=0.25
+        )
+
+    def test_guard_band_applied(self, context):
+        assert context.model.t_max == pytest.approx(
+            context.testbed.config.t_max
+            - CampaignConfig().thermal_guard_band
+        )
+
+    def test_thermal_prediction_error_small(self, context):
+        # The paper claims "a few percent error" for the stable
+        # temperature model; ours should predict within ~1 K on the sweep.
+        for trace in context.profiling.thermal_traces:
+            err = np.abs(trace.predicted_t_cpu - trace.measured_t_cpu)
+            assert float(np.max(err)) < 1.5
+
+    def test_bottom_machines_fitted_cooler_than_top(self, context):
+        # gamma + alpha*T ordering: at a reference supply temperature and
+        # idle power the bottom third must predict cooler CPUs than the
+        # top third.
+        model = context.model
+        idle = model.power.w2
+        temps = [
+            node.cpu_temperature(295.0, idle) for node in model.nodes
+        ]
+        n = len(temps)
+        assert np.mean(temps[: n // 3]) < np.mean(temps[-n // 3 :])
+
+
+class TestTransientCampaign:
+    def test_transient_and_algebraic_agree(self):
+        # A miniature campaign with full ODE integration should produce
+        # nearly the same coefficients as the algebraic path.
+        config = TestbedConfig(n_machines=3)
+        fast_cfg = CampaignConfig(
+            power_dwell=300.0,
+            power_idle_gap=30.0,
+            set_points=(294.15, 298.15),
+            thermal_loads=(0.2, 0.9),
+            staggered_points=1,
+            samples_per_point=10,
+        )
+        slow_cfg = CampaignConfig(
+            power_dwell=300.0,
+            power_idle_gap=30.0,
+            set_points=(294.15, 298.15),
+            thermal_loads=(0.2, 0.9),
+            staggered_points=1,
+            samples_per_point=10,
+            transient=True,
+            settle_time=2500.0,
+        )
+        fast = build_testbed(config, seed=5).profile(fast_cfg).system_model
+        slow = build_testbed(config, seed=5).profile(slow_cfg).system_model
+        for a, b in zip(fast.nodes, slow.nodes):
+            assert a.alpha == pytest.approx(b.alpha, abs=0.03)
+            assert a.beta == pytest.approx(b.beta, abs=0.03)
+
+
+class TestCampaignValidation:
+    def test_model_count_mismatch_rejected(self, testbed):
+        with pytest.raises(ConfigurationError):
+            ProfilingCampaign(
+                simulation=testbed.simulation,
+                power_models=testbed.power_models[:-1],
+                t_max=343.15,
+                rng=np.random.default_rng(0),
+            )

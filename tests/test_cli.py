@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_target(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert "headline" in out
+
+    def test_unknown_target(self, capsys):
+        assert main(["figZZ"]) == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_fig1_runs_standalone(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "order=(3, 1, 4, 2)" in out
+
+    def test_solve_requires_load(self, capsys):
+        assert main(["solve"]) == 2
+        assert "--load" in capsys.readouterr().err
+
+    def test_solve_prints_decision(self, capsys):
+        assert main(["solve", "--load", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "ON set" in out
+        assert "T_ac" in out
+
+    def test_contextual_figure_runs(self, capsys):
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "avg power" in out

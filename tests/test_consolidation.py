@@ -1,0 +1,198 @@
+"""Tests for the paper's Algorithms 1-2 (event-based consolidation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consolidation import ConsolidationIndex
+from repro.core.select import brute_force_subset, ratio
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.experiments.fig1_particle_example import (
+    EXPECTED_EVENT_TIMES,
+    EXPECTED_ORDERS,
+    FIG1_PAIRS,
+    run_fig1,
+)
+
+
+class TestPaperFigure1:
+    """The Fig. 1 example (reconstructed instance, identical structure)."""
+
+    def test_exactly_two_events(self):
+        index = ConsolidationIndex(FIG1_PAIRS, w2=1.0, rho=1.0)
+        assert index.event_count == 2
+
+    def test_event_times(self):
+        result = run_fig1()
+        assert result.event_times == pytest.approx(EXPECTED_EVENT_TIMES)
+
+    def test_order_timeline_matches_figure(self):
+        result = run_fig1()
+        assert result.orders == EXPECTED_ORDERS
+
+    def test_number_of_candidate_top2_sets(self):
+        # "For k = 2, we only need to check two different combinations
+        # rather than all C(4,2) = 6": the top-2 prefix takes exactly two
+        # distinct values across the whole timeline.
+        result = run_fig1()
+        assert len(result.top2_sets) == 2
+
+    def test_status_table_size(self):
+        # (1 initial + 2 events) orders x 4 prefix lengths.
+        index = ConsolidationIndex(FIG1_PAIRS, w2=1.0, rho=1.0)
+        assert index.status_count == 12
+
+
+class TestPreprocessing:
+    def test_event_count_bounded_by_pairs(self, rng):
+        n = 12
+        pairs = list(
+            zip(
+                rng.uniform(10.0, 100.0, n).tolist(),
+                rng.uniform(0.5, 5.0, n).tolist(),
+            )
+        )
+        index = ConsolidationIndex(pairs, w2=1.0, rho=1.0)
+        assert index.event_count <= n * (n - 1) // 2
+        assert index.status_count == (index.event_count + 1) * n
+
+    def test_parallel_particles_never_meet(self):
+        pairs = [(10.0, 2.0), (5.0, 2.0), (1.0, 2.0)]
+        index = ConsolidationIndex(pairs, w2=1.0, rho=1.0)
+        assert index.event_count == 0
+
+    def test_orders_sorted_by_coordinates(self, rng):
+        pairs = [(9.0, 1.0), (8.0, 3.0), (7.0, 0.5), (2.0, 0.1)]
+        index = ConsolidationIndex(pairs, w2=1.0, rho=1.0)
+        for t, order in index.order_timeline():
+            x = np.array([a - (t + 1e-9) * b for a, b in pairs])
+            resorted = sorted(range(4), key=lambda i: (-x[i], i))
+            assert order == resorted
+
+    def test_statuses_sorted_by_lmax(self):
+        index = ConsolidationIndex(FIG1_PAIRS, w2=1.0, rho=1.0)
+        lmax = [s.l_max for s in index.all_status]
+        assert lmax == sorted(lmax)
+
+    def test_duplicate_pairs_handled(self):
+        # Degenerate input: identical machines (the paper's swap-based
+        # order maintenance would need a genericity assumption here).
+        pairs = [(10.0, 1.0)] * 4
+        index = ConsolidationIndex(pairs, w2=1.0, rho=1.0)
+        assert index.query(25.0) == [0, 1, 2]
+
+    def test_rejects_bad_cost_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            ConsolidationIndex(FIG1_PAIRS, w2=-1.0, rho=1.0)
+        with pytest.raises(ConfigurationError):
+            ConsolidationIndex(FIG1_PAIRS, w2=1.0, rho=0.0)
+
+    def test_rejects_capacity_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ConsolidationIndex(
+                FIG1_PAIRS, w2=1.0, rho=1.0, capacities=[40.0]
+            )
+
+
+class TestOnlineQuery:
+    def test_query_returns_prefix_that_can_serve(self):
+        index = ConsolidationIndex(FIG1_PAIRS, w2=1.0, rho=1.0)
+        load = 7.0
+        chosen = index.query(load)
+        assert sum(FIG1_PAIRS[i][0] for i in chosen) >= load
+
+    def test_infeasible_load_raises(self):
+        index = ConsolidationIndex(FIG1_PAIRS, w2=1.0, rho=1.0)
+        with pytest.raises(InfeasibleError):
+            index.query(1e6)
+
+    def test_refined_matches_brute_force_on_random_instances(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(4, 10))
+            pairs = list(
+                zip(
+                    rng.uniform(50.0, 400.0, n).tolist(),
+                    rng.uniform(0.5, 5.0, n).tolist(),
+                )
+            )
+            w2 = float(rng.uniform(5.0, 60.0))
+            rho = float(rng.uniform(50.0, 500.0))
+            load = float(
+                rng.uniform(0.1, 0.6) * sum(a for a, _ in pairs)
+            )
+            index = ConsolidationIndex(pairs, w2=w2, rho=rho)
+            chosen = index.query_refined(load)
+            _, brute_power = brute_force_subset(
+                pairs, load, w2=w2, rho=rho, theta=0.0
+            )
+            power = len(chosen) * w2 - rho * ratio(pairs, chosen, load)
+            assert power == pytest.approx(brute_power, abs=1e-6)
+
+    def test_faithful_query_is_feasible_and_never_beats_optimum(self, rng):
+        # The verbatim Algorithm 2 retrieves by Lmax alone, which is only
+        # monotone in the cost within one (order, k) family; on random
+        # instances it can land noticeably above the optimum (the refined
+        # query exists precisely to close that gap — see the module
+        # docstring and the algorithms experiment).  Here we pin down the
+        # guarantees it does have: the returned prefix can serve the load
+        # at its status time, and no solver beats brute force.
+        for _ in range(10):
+            n = 8
+            pairs = list(
+                zip(
+                    rng.uniform(50.0, 400.0, n).tolist(),
+                    rng.uniform(0.5, 5.0, n).tolist(),
+                )
+            )
+            w2, rho = 38.0, 300.0
+            load = float(
+                rng.uniform(0.2, 0.6) * sum(a for a, _ in pairs)
+            )
+            index = ConsolidationIndex(pairs, w2=w2, rho=rho)
+            chosen = index.query(load)
+            _, brute_power = brute_force_subset(
+                pairs, load, w2=w2, rho=rho, theta=0.0
+            )
+            power = len(chosen) * w2 - rho * ratio(pairs, chosen, load)
+            # Feasibility: at the subset's own ratio the load is served
+            # exactly; the ratio must be finite and the cost cannot be
+            # below the global optimum.
+            assert np.isfinite(power)
+            assert power >= brute_power - 1e-6
+
+    def test_capacity_filter_in_refined_query(self):
+        pairs = [(100.0, 1.0)] * 4
+        index = ConsolidationIndex(
+            pairs, w2=1000.0, rho=1.0, capacities=[40.0] * 4
+        )
+        chosen = index.query_refined(70.0)
+        assert len(chosen) >= 2
+
+    def test_queries_are_reusable(self):
+        # One pre-processing pass serves many loads (the whole point of
+        # the offline/online split).
+        index = ConsolidationIndex(FIG1_PAIRS, w2=1.0, rho=1.0)
+        sizes = [len(index.query_refined(l)) for l in (2.0, 6.0, 10.0)]
+        assert sizes == sorted(sizes)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(st.floats(1.0, 200.0), st.floats(0.2, 5.0)),
+            min_size=3,
+            max_size=8,
+        ),
+        st.floats(0.05, 0.7),
+    )
+    def test_refined_never_worse_than_faithful(self, pairs, frac):
+        load = frac * sum(a for a, _ in pairs)
+        index = ConsolidationIndex(pairs, w2=10.0, rho=100.0)
+        try:
+            faithful = index.query(load)
+        except InfeasibleError:
+            return
+        refined = index.query_refined(load)
+        cost_f = len(faithful) * 10.0 - 100.0 * ratio(pairs, faithful, load)
+        cost_r = len(refined) * 10.0 - 100.0 * ratio(pairs, refined, load)
+        assert cost_r <= cost_f + 1e-9

@@ -1,0 +1,124 @@
+"""Tests for the adaptive runtime controller (extension layer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import RuntimeController
+from repro.core.optimizer import JointOptimizer
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.workload.traces import constant_trace, diurnal_trace, step_trace
+from tests.conftest import make_system_model
+
+
+@pytest.fixture
+def controller() -> RuntimeController:
+    optimizer = JointOptimizer(make_system_model(n=10))
+    return RuntimeController(optimizer, hysteresis=0.15, min_dwell=600.0)
+
+
+class TestConstruction:
+    def test_rejects_bad_hysteresis(self):
+        optimizer = JointOptimizer(make_system_model())
+        with pytest.raises(ConfigurationError):
+            RuntimeController(optimizer, hysteresis=1.0)
+
+    def test_rejects_insufficient_headroom(self):
+        optimizer = JointOptimizer(make_system_model())
+        with pytest.raises(ConfigurationError):
+            RuntimeController(optimizer, hysteresis=0.2, headroom=1.1)
+
+    def test_default_headroom_covers_band(self):
+        optimizer = JointOptimizer(make_system_model())
+        controller = RuntimeController(optimizer, hysteresis=0.2)
+        assert controller.headroom == pytest.approx(1.2)
+
+
+class TestReplanLogic:
+    def test_first_observation_plans(self, controller):
+        result = controller.observe(0.0, 100.0)
+        assert result is not None
+        assert controller.reconfigurations == 1
+        assert controller.events[0].reason == "initial plan"
+
+    def test_in_band_jitter_is_ignored(self, controller):
+        controller.observe(0.0, 100.0)
+        for i, load in enumerate((104.0, 97.0, 101.0, 108.0)):
+            assert controller.observe(1000.0 * (i + 1), load) is None
+        assert controller.reconfigurations == 1
+
+    def test_rise_above_plan_triggers_replan(self, controller):
+        controller.observe(0.0, 100.0)
+        result = controller.observe(50.0, 130.0)  # above 100 * 1.15
+        assert result is not None
+        assert controller.reconfigurations == 2
+
+    def test_rise_bypasses_dwell(self, controller):
+        # Capacity safety beats churn protection.
+        controller.observe(0.0, 100.0)
+        assert controller.observe(1.0, 140.0) is not None
+
+    def test_drop_within_dwell_is_suppressed(self, controller):
+        controller.observe(0.0, 100.0)
+        assert controller.observe(10.0, 20.0) is None
+        assert controller.suppressed == 1
+
+    def test_drop_after_dwell_replans(self, controller):
+        controller.observe(0.0, 100.0)
+        result = controller.observe(700.0, 20.0)
+        assert result is not None
+        assert "below" in controller.events[-1].reason
+
+    def test_plan_covers_headroom(self, controller):
+        controller.observe(0.0, 100.0)
+        assert controller.plan.loads.sum() == pytest.approx(115.0)
+
+    def test_headroom_capped_at_capacity(self, controller):
+        capacity = controller.optimizer.model.total_capacity
+        controller.observe(0.0, 0.95 * capacity)
+        assert controller.plan.loads.sum() == pytest.approx(capacity)
+
+    def test_over_capacity_load_raises(self, controller):
+        capacity = controller.optimizer.model.total_capacity
+        with pytest.raises(InfeasibleError):
+            controller.observe(0.0, 1.05 * capacity)
+
+    def test_rejects_negative_load(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.observe(0.0, -1.0)
+
+
+class TestTraceRuns:
+    def test_constant_trace_plans_once(self, controller):
+        events = controller.run_trace(
+            constant_trace(120.0, duration=7200.0), dt=60.0
+        )
+        assert len(events) == 1
+
+    def test_step_trace_follows_levels(self, controller):
+        trace = step_trace([50.0, 200.0, 80.0], dwell=3600.0)
+        controller.run_trace(trace, dt=300.0)
+        assert controller.reconfigurations >= 3
+        # Machines on must have grown for the middle step.
+        counts = [e.machines_on for e in controller.events]
+        assert max(counts) > counts[0]
+
+    def test_diurnal_trace_bounded_reconfigurations(self):
+        # Hysteresis + dwell must keep a smooth daily curve to a modest
+        # number of reconfigurations (not one per observation).
+        optimizer = JointOptimizer(make_system_model(n=10))
+        controller = RuntimeController(
+            optimizer, hysteresis=0.15, min_dwell=1800.0
+        )
+        trace = diurnal_trace(base=40.0, peak=360.0)
+        controller.run_trace(trace, dt=300.0)
+        observations = trace.duration / 300.0
+        assert controller.reconfigurations < 0.15 * observations
+
+    def test_plans_always_feasible_along_trace(self, controller):
+        trace = diurnal_trace(base=40.0, peak=380.0)
+        t = 0.0
+        while t <= trace.duration:
+            load = trace.load_at(t)
+            controller.observe(t, load)
+            assert controller.plan.loads.sum() >= load - 1e-6
+            t += 300.0

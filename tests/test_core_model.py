@@ -1,0 +1,163 @@
+"""Tests for the fitted model objects (Eqs. 8-10, 19)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import CoolerModel, NodeCoefficients, PowerModel
+from repro.errors import ConfigurationError
+from tests.conftest import make_system_model
+
+
+class TestPowerModel:
+    def test_power_and_inverse(self):
+        model = PowerModel(w1=1.5, w2=40.0)
+        assert model.power(20.0) == pytest.approx(70.0)
+        assert model.load(70.0) == pytest.approx(20.0)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(w1=1.5, w2=40.0).power(-5.0)
+
+    def test_rejects_bad_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(w1=-1.0, w2=40.0)
+        with pytest.raises(ConfigurationError):
+            PowerModel(w1=1.0, w2=-40.0)
+
+
+class TestNodeCoefficients:
+    def test_equation_eight(self):
+        node = NodeCoefficients(alpha=0.9, beta=0.5, gamma=20.0)
+        assert node.cpu_temperature(t_ac=290.0, power=80.0) == pytest.approx(
+            0.9 * 290.0 + 0.5 * 80.0 + 20.0
+        )
+
+    def test_k_constant_matches_equation_nineteen(self):
+        node = NodeCoefficients(alpha=0.9, beta=0.5, gamma=20.0)
+        power = PowerModel(w1=1.5, w2=40.0)
+        expected = (343.15 - 0.5 * 40.0 - 20.0) / (0.5 * 1.5)
+        assert node.k_constant(343.15, power) == pytest.approx(expected)
+
+    def test_max_supply_temperature_is_consistent(self):
+        # Loading the machine at L and supplying exactly the returned
+        # T_ac must put the CPU exactly at T_max.
+        node = NodeCoefficients(alpha=0.9, beta=0.5, gamma=20.0)
+        power = PowerModel(w1=1.5, w2=40.0)
+        t_ac = node.max_supply_temperature(25.0, 343.15, power)
+        assert node.cpu_temperature(
+            t_ac, power.power(25.0)
+        ) == pytest.approx(343.15)
+
+    def test_max_load_matches_equation_eighteen(self):
+        node = NodeCoefficients(alpha=0.9, beta=0.5, gamma=20.0)
+        power = PowerModel(w1=1.5, w2=40.0)
+        t_ac = 292.0
+        load = node.max_load(t_ac, 343.15, power)
+        assert node.cpu_temperature(
+            t_ac, power.power(load)
+        ) == pytest.approx(343.15)
+
+    def test_rejects_non_positive_alpha_beta(self):
+        with pytest.raises(ConfigurationError):
+            NodeCoefficients(alpha=0.0, beta=0.5, gamma=1.0)
+        with pytest.raises(ConfigurationError):
+            NodeCoefficients(alpha=0.9, beta=-0.5, gamma=1.0)
+
+
+class TestCoolerModel:
+    def make(self) -> CoolerModel:
+        return CoolerModel(
+            c_f_ac=6700.0,
+            actuation_offset=18.0,
+            actuation_t_ac=0.94,
+            actuation_power=0.00055,
+            t_ac_min=283.15,
+            t_ac_max=302.15,
+            idle_power=3000.0,
+        )
+
+    def test_equation_ten_with_floor(self):
+        cooler = self.make()
+        assert cooler.cooling_power(298.0, 296.0) == pytest.approx(
+            6700.0 * 2.0 + 3000.0
+        )
+
+    def test_no_negative_coil_power(self):
+        cooler = self.make()
+        assert cooler.cooling_power(295.0, 296.0) == pytest.approx(3000.0)
+
+    def test_actuation_round_trip(self):
+        cooler = self.make()
+        sp = cooler.set_point_for(294.0, 1200.0)
+        assert cooler.supply_for_set_point(sp, 1200.0) == pytest.approx(294.0)
+
+    def test_clamp(self):
+        cooler = self.make()
+        assert cooler.clamp_t_ac(270.0) == pytest.approx(283.15)
+        assert cooler.clamp_t_ac(310.0) == pytest.approx(302.15)
+        assert cooler.clamp_t_ac(295.0) == pytest.approx(295.0)
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ConfigurationError):
+            CoolerModel(
+                c_f_ac=6700.0,
+                actuation_offset=18.0,
+                actuation_t_ac=0.94,
+                actuation_power=0.0005,
+                t_ac_min=302.15,
+                t_ac_max=283.15,
+            )
+
+
+class TestSystemModel:
+    def test_ab_pairs_match_definitions(self, system_model):
+        pairs = system_model.ab_pairs()
+        for (a, b), node in zip(pairs, system_model.nodes):
+            assert a == pytest.approx(
+                node.k_constant(system_model.t_max, system_model.power)
+            )
+            assert b == pytest.approx(node.alpha / node.beta)
+
+    def test_k_values_subset(self, system_model):
+        full = system_model.k_values()
+        sub = system_model.k_values([1, 3])
+        assert np.allclose(sub, full[[1, 3]])
+
+    def test_predicted_temperatures_ordering(self, system_model):
+        # Machine 0 is coolest by construction of the fixture.
+        temps = system_model.predicted_cpu_temperatures(
+            [10.0] * 4, t_ac=292.0
+        )
+        assert temps[0] < temps[-1]
+
+    def test_max_feasible_t_ac_is_binding_minimum(self, system_model):
+        loads = [30.0, 20.0, 10.0, 5.0]
+        t_ac = system_model.max_feasible_t_ac(loads, range(4))
+        temps = system_model.predicted_cpu_temperatures(loads, t_ac)
+        assert np.max(temps) == pytest.approx(system_model.t_max)
+
+    def test_predicted_total_power(self, system_model):
+        loads = [10.0, 10.0, 0.0, 0.0]
+        total = system_model.predicted_total_power(
+            loads, on_ids=[0, 1], t_sp=298.0, t_ac=295.0
+        )
+        servers = 2 * system_model.power.power(10.0)
+        cooling = system_model.cooler.cooling_power(298.0, 295.0)
+        assert total == pytest.approx(servers + cooling)
+
+    def test_rejects_capacity_mismatch(self):
+        from repro.core.model import SystemModel
+
+        model = make_system_model(n=3)
+        with pytest.raises(ConfigurationError):
+            SystemModel(
+                power=model.power,
+                nodes=model.nodes,
+                cooler=model.cooler,
+                t_max=model.t_max,
+                capacities=(40.0,),
+            )
+
+    def test_wrong_load_vector_length_rejected(self, system_model):
+        with pytest.raises(ConfigurationError):
+            system_model.predicted_cpu_temperatures([1.0, 2.0], 295.0)

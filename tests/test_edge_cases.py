@@ -1,0 +1,139 @@
+"""Stress and edge-case tests: extreme room configurations end to end."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import JointOptimizer, build_testbed, scenario_by_number
+from repro.core.closed_form import solve_closed_form
+from repro.errors import InfeasibleError
+from repro.testbed.rack import TestbedConfig
+from tests.conftest import make_system_model
+
+
+class TestTinyRooms:
+    def test_single_machine_room(self):
+        testbed = build_testbed(TestbedConfig(n_machines=1), seed=3)
+        model = testbed.profile().system_model
+        optimizer = JointOptimizer(model)
+        result = optimizer.solve(0.6 * testbed.total_capacity)
+        assert result.on_ids == (0,)
+        record = testbed.evaluate(
+            scenario_by_number(8).decide(
+                model, 0.6 * testbed.total_capacity, optimizer=optimizer
+            )
+        )
+        assert not record.temperature_violated
+
+    def test_two_machine_room_all_scenarios(self):
+        testbed = build_testbed(TestbedConfig(n_machines=2), seed=4)
+        model = testbed.profile().system_model
+        optimizer = JointOptimizer(model)
+        for number in range(1, 9):
+            decision = scenario_by_number(number).decide(
+                model, 0.5 * testbed.total_capacity, optimizer=optimizer
+            )
+            record = testbed.evaluate(decision)
+            assert not record.temperature_violated
+
+
+class TestExtremeLoads:
+    def test_nearly_zero_load(self, context):
+        result = context.optimizer.solve(0.001 * context.testbed.total_capacity)
+        assert len(result.on_ids) == 1
+        assert result.loads.sum() == pytest.approx(
+            0.001 * context.testbed.total_capacity
+        )
+
+    def test_exactly_full_load(self, context):
+        result = context.optimizer.solve(context.testbed.total_capacity)
+        assert len(result.on_ids) == context.testbed.n_machines
+        assert np.allclose(
+            result.loads, np.asarray(context.model.capacities)
+        )
+
+    def test_epsilon_above_capacity_rejected(self, context):
+        with pytest.raises(InfeasibleError):
+            context.optimizer.solve(
+                context.testbed.total_capacity * (1.0 + 1e-6) + 1e-3
+            )
+
+
+class TestDegenerateModels:
+    def test_identical_machines(self):
+        # Zero thermal diversity: the optimum must degenerate to an even
+        # split (by symmetry) and still be solvable.
+        from repro.core.model import NodeCoefficients, SystemModel
+
+        base = make_system_model(n=6)
+        node = NodeCoefficients(alpha=0.9, beta=0.47, gamma=20.0)
+        model = SystemModel(
+            power=base.power,
+            nodes=(node,) * 6,
+            cooler=base.cooler,
+            t_max=base.t_max,
+            capacities=base.capacities,
+        )
+        solution = solve_closed_form(model, list(range(6)), 120.0)
+        assert np.ptp(solution.loads) < 1e-9
+
+    def test_single_hot_outlier(self):
+        # One machine much hotter than the rest: at moderate loads the
+        # optimal split gives it the least work.
+        from repro.core.model import NodeCoefficients, SystemModel
+
+        base = make_system_model(n=4, alpha_spread=0.1)
+        hot = NodeCoefficients(alpha=0.95, beta=0.7, gamma=25.0)
+        model = SystemModel(
+            power=base.power,
+            nodes=(*base.nodes[:3], hot),
+            cooler=base.cooler,
+            t_max=base.t_max,
+            capacities=base.capacities,
+        )
+        solution = solve_closed_form(model, [0, 1, 2, 3], 100.0)
+        assert solution.loads[3] == np.min(solution.loads[:4])
+
+
+class TestSmallCooler:
+    def test_undersized_cooler_saturates_honestly(self):
+        config = TestbedConfig(n_machines=20, cooler_q_max=1500.0)
+        testbed = build_testbed(config, seed=9)
+        state = testbed.simulation.steady_state(
+            powers=np.full(20, 95.0),
+            on_mask=[True] * 20,
+            set_point=295.15,
+        )
+        assert not state.regulated
+        assert state.t_room > 295.15
+        assert state.q_cool <= 1500.0 + 1e-6
+
+
+class TestClosedFormMonotonicity:
+    @settings(deadline=None, max_examples=40)
+    @given(st.floats(5.0, 150.0), st.floats(5.0, 150.0))
+    def test_supply_temperature_monotone_in_load(self, l1, l2):
+        model = make_system_model(n=4)
+        s1 = solve_closed_form(model, [0, 1, 2, 3], min(l1, l2))
+        s2 = solve_closed_form(model, [0, 1, 2, 3], max(l1, l2))
+        # More load never allows warmer supply air.
+        assert s2.t_ac <= s1.t_ac + 1e-9
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.floats(5.0, 150.0), st.floats(5.0, 150.0))
+    def test_predicted_power_monotone_in_load(self, l1, l2):
+        model = make_system_model(n=4)
+        lo, hi = sorted((l1, l2))
+        s_lo = solve_closed_form(model, [0, 1, 2, 3], lo)
+        s_hi = solve_closed_form(model, [0, 1, 2, 3], hi)
+        assert s_hi.predicted_total_power >= s_lo.predicted_total_power - 1e-6
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.floats(10.0, 110.0))
+    def test_adding_a_machine_never_hurts_t_ac(self, load):
+        # A superset of machines can always run at least as warm.
+        model = make_system_model(n=4)
+        s_three = solve_closed_form(model, [0, 1, 2], load)
+        s_four = solve_closed_form(model, [0, 1, 2, 3], load)
+        assert s_four.t_ac >= s_three.t_ac - 1e-9

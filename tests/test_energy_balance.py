@@ -1,0 +1,110 @@
+"""First-law property tests on the thermal simulation.
+
+Whatever the configuration, energy must balance: at steady state every
+watt the servers dissipate plus the envelope gain is removed by the
+cooler, and during transients the stored thermal energy accounts for the
+difference between inflow and outflow.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.testbed.rack import TestbedConfig, build_cooler, build_room
+from repro.thermal.simulation import RoomSimulation
+
+
+def make_sim(n=4, seed=0):
+    config = TestbedConfig(n_machines=n)
+    rng = np.random.default_rng(seed)
+    return RoomSimulation(build_room(config, rng), build_cooler(config))
+
+
+def stored_energy(sim):
+    """Total thermal energy of the state relative to 0 K, J."""
+    total = sim.room.nu_room * sim.t_room
+    for i, node in enumerate(sim.room.nodes):
+        total += node.nu_cpu * sim.t_cpu[i] + node.nu_box * sim.t_box[i]
+    return total
+
+
+class TestSteadyStateBalance:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.floats(0.0, 95.0),
+        st.floats(290.0, 302.0),
+        st.integers(1, 4),
+    )
+    def test_cooler_removes_exactly_the_heat_input(
+        self, per_node_power, set_point, n_on
+    ):
+        sim = make_sim()
+        mask = np.array([i < n_on for i in range(4)])
+        powers = np.where(mask, per_node_power, 0.0)
+        state = sim.steady_state(powers, mask, set_point)
+        expected = float(powers.sum()) + sim.room.envelope_conductance * (
+            sim.room.t_env - state.t_room
+        )
+        assert state.q_cool == pytest.approx(max(0.0, expected), abs=1e-6)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.floats(10.0, 95.0), st.floats(292.0, 300.0))
+    def test_per_node_enthalpy_balance(self, power, set_point):
+        # Each running node's exhaust carries exactly its heat input.
+        sim = make_sim()
+        powers = np.full(4, power)
+        state = sim.steady_state(powers, [True] * 4, set_point)
+        for i, node in enumerate(sim.room.nodes):
+            carried = (
+                node.flow * units.C_AIR * (state.t_box[i] - state.t_in[i])
+            )
+            assert carried == pytest.approx(power, rel=1e-9)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.floats(0.0, 95.0))
+    def test_supply_return_delta_matches_q(self, power):
+        sim = make_sim()
+        powers = np.full(4, power)
+        state = sim.steady_state(powers, [True] * 4, 297.15)
+        delta = state.t_room - state.t_ac
+        assert delta * sim.cooler.supply_flow * units.C_AIR == pytest.approx(
+            state.q_cool, rel=1e-9
+        )
+
+
+class TestTransientBalance:
+    def test_stored_energy_matches_integrated_flows(self):
+        # Over a transient window, d(stored)/dt must equal (power in) +
+        # (envelope in) - (heat removed by the coil).  Integrate both
+        # sides and compare.
+        sim = make_sim()
+        sim.set_node_powers([60.0] * 4)
+        sim.set_set_point(296.15)
+        sim.run(50.0, dt=0.5)  # get away from the cold start
+
+        dt = 0.25
+        e0 = stored_energy(sim)
+        inflow = 0.0
+        for _ in range(2000):
+            # Heat removed this step is q_cool; envelope exchange uses the
+            # pre-step room temperature (midpoint error ~O(dt)).
+            t_room_before = sim.t_room
+            sim.step(dt)
+            inflow += dt * (
+                4 * 60.0
+                + sim.room.envelope_conductance
+                * (sim.room.t_env - t_room_before)
+                - sim.cooler.q_cool
+            )
+        e1 = stored_energy(sim)
+        assert e1 - e0 == pytest.approx(inflow, abs=0.02 * abs(inflow) + 500.0)
+
+    def test_power_accounting_nonnegative(self):
+        sim = make_sim()
+        sim.set_node_powers([40.0] * 4)
+        for _ in range(100):
+            sim.step(0.5)
+            assert sim.cooling_power >= sim.cooler.fan_power - 1e-9
+            assert sim.total_power >= 4 * 40.0

@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.InfeasibleError,
+        errors.ConvergenceError,
+        errors.ProfilingError,
+        errors.SimulationError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_repro_error_derives_from_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_catching_base_catches_subclass():
+    with pytest.raises(errors.ReproError):
+        raise errors.InfeasibleError("load too high")
+
+
+def test_subclasses_are_distinct():
+    assert not issubclass(errors.InfeasibleError, errors.ProfilingError)
+    assert not issubclass(errors.ProfilingError, errors.InfeasibleError)

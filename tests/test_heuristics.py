@@ -1,0 +1,58 @@
+"""Tests for the footnote-1 heuristics and the paper's counterexample."""
+
+import pytest
+
+from repro.core.heuristics import (
+    PAPER_COUNTEREXAMPLE,
+    greedy_heuristic,
+    ratio_sort_heuristic,
+)
+from repro.core.select import ratio, select_subset
+from repro.errors import ConfigurationError
+
+
+class TestRatioSort:
+    def test_orders_by_ratio(self):
+        # Ratios: 10/7 > 2/3 > 1/2 > 0.2/1.34.
+        assert ratio_sort_heuristic(PAPER_COUNTEREXAMPLE, 2) == [0, 1]
+        assert ratio_sort_heuristic(PAPER_COUNTEREXAMPLE, 3) == [0, 1, 2]
+
+    def test_fails_on_paper_counterexample(self):
+        # The instance the paper gives to defeat this heuristic.
+        chosen = ratio_sort_heuristic(PAPER_COUNTEREXAMPLE, 2)
+        _, t_opt = select_subset(PAPER_COUNTEREXAMPLE, 2, 0.0)
+        assert ratio(PAPER_COUNTEREXAMPLE, chosen, 0.0) < t_opt - 1e-9
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            ratio_sort_heuristic(PAPER_COUNTEREXAMPLE, 0)
+
+
+class TestGreedy:
+    def test_first_pick_is_best_ratio(self):
+        assert greedy_heuristic(PAPER_COUNTEREXAMPLE, 1, 0.0) == [0]
+
+    def test_optimal_on_easy_instance(self):
+        pairs = [(10.0, 1.0), (9.0, 1.0), (1.0, 1.0)]
+        assert greedy_heuristic(pairs, 2, 0.0) == [0, 1]
+
+    def test_exists_instance_where_greedy_fails(self):
+        # Greedy commits to the single best a/b ratio first; here that
+        # machine (index 0, ratio 9.41) is in the optimum, but greedy's
+        # myopic second pick (machine 1) locks it out of the best pair
+        # {1, 2} once the load is accounted for.
+        pairs = [(36.7, 3.9), (58.1, 6.6), (53.3, 6.9)]
+        k, load = 2, 41.3
+        greedy = greedy_heuristic(pairs, k, load)
+        best, t_opt = select_subset(pairs, k, load)
+        assert greedy == [0, 1]
+        assert best == [1, 2]
+        assert ratio(pairs, greedy, load) < t_opt - 1e-9
+
+    def test_respects_k(self):
+        for k in (1, 2, 3, 4):
+            assert len(greedy_heuristic(PAPER_COUNTEREXAMPLE, k, 1.0)) == k
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            greedy_heuristic(PAPER_COUNTEREXAMPLE, 5, 0.0)

@@ -1,0 +1,183 @@
+"""Targeted tests for paths the themed suites do not reach."""
+
+import numpy as np
+import pytest
+
+from repro.core.consolidation import ConsolidationIndex
+from repro.core.controller import RuntimeController
+from repro.core.optimizer import JointOptimizer
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.power.server import ServerPowerModel
+from repro.testbed.experiment import ExperimentRecord
+from repro.testbed.rack import TestbedConfig, build_testbed
+from repro.workload.balancer import Allocation, LoadBalancer
+from repro.workload.cluster import Cluster, Server
+from repro.workload.tasks import Task
+from tests.conftest import make_system_model
+
+
+class TestSteadyStateExtras:
+    def test_max_cpu_temperature_property(self, testbed):
+        state = testbed.simulation.steady_state(
+            powers=np.full(20, 80.0),
+            on_mask=[True] * 20,
+            set_point=297.15,
+        )
+        assert state.max_cpu_temperature == pytest.approx(
+            float(np.max(state.t_cpu))
+        )
+
+    def test_run_until_steady_times_out(self):
+        testbed = build_testbed(TestbedConfig(n_machines=3), seed=1)
+        sim = testbed.simulation
+        sim.set_node_powers([90.0] * 3)
+        with pytest.raises(ConvergenceError):
+            sim.run_until_steady(max_duration=2.0)
+
+
+class TestRecordRendering:
+    def make_record(self, violated):
+        return ExperimentRecord(
+            scenario="x",
+            total_load=100.0,
+            load_fraction=0.5,
+            machines_on=5,
+            t_sp=298.0,
+            t_ac=295.0,
+            t_room=298.0,
+            max_t_cpu=350.0 if violated else 330.0,
+            server_power=500.0,
+            cooling_power=5000.0,
+            total_power=5500.0,
+            temperature_violated=violated,
+            regulated=True,
+        )
+
+    def test_summary_flags_violation(self):
+        assert "VIOLATION" in self.make_record(True).summary()
+        assert "VIOLATION" not in self.make_record(False).summary()
+
+
+class TestConsolidationBookkeeping:
+    def test_status_pb_matches_listing_formula(self):
+        # Algorithm 1 line 24: P_b = i*w2 - rho*t + theta0.
+        index = ConsolidationIndex(
+            [(5.0, 1.0), (3.0, 2.0)], w2=7.0, rho=11.0, theta0=100.0
+        )
+        for status in index.all_status:
+            assert status.p_b == pytest.approx(
+                status.k * 7.0 - 11.0 * status.t + 100.0
+            )
+
+    def test_on_set_is_sorted_prefix(self):
+        index = ConsolidationIndex(
+            [(5.0, 1.0), (9.0, 3.0), (3.0, 2.0)], w2=1.0, rho=1.0
+        )
+        for status in index.all_status:
+            chosen = index.on_set(status)
+            assert chosen == sorted(chosen)
+            assert len(chosen) == status.k
+
+
+class TestBalancerEdge:
+    def test_no_eligible_server_raises(self):
+        cluster = Cluster(
+            [
+                Server(0, ServerPowerModel(w1=1.0, w2=10.0, capacity=10.0)),
+                Server(1, ServerPowerModel(w1=1.0, w2=10.0, capacity=10.0)),
+            ]
+        )
+        balancer = LoadBalancer(cluster)
+        balancer.set_allocation(Allocation.build([5.0, 5.0], n_servers=2))
+        cluster[0].fail()
+        cluster[1].fail()
+        with pytest.raises(ConfigurationError):
+            balancer.dispatch(Task(task_id=0, work=1.0, created_at=0.0))
+
+    def test_zero_total_allocation_rejected_on_dispatch(self):
+        cluster = Cluster(
+            [Server(0, ServerPowerModel(w1=1.0, w2=10.0, capacity=10.0))]
+        )
+        balancer = LoadBalancer(cluster)
+        with pytest.raises(ConfigurationError):
+            balancer.set_allocation(
+                Allocation.build([0.0], n_servers=1, on_ids=[0])
+            )
+            balancer.dispatch(Task(task_id=0, work=1.0, created_at=0.0))
+
+
+class TestControllerEdge:
+    def test_run_trace_rejects_bad_dt(self):
+        controller = RuntimeController(
+            JointOptimizer(make_system_model(n=4))
+        )
+        from repro.workload.traces import constant_trace
+
+        with pytest.raises(ConfigurationError):
+            controller.run_trace(constant_trace(10.0, 100.0), dt=0.0)
+
+    def test_events_record_planned_load_with_headroom(self):
+        controller = RuntimeController(
+            JointOptimizer(make_system_model(n=4)), hysteresis=0.2
+        )
+        controller.observe(0.0, 50.0)
+        event = controller.events[0]
+        assert event.planned_load == pytest.approx(60.0)
+        assert event.offered_load == pytest.approx(50.0)
+
+
+class TestScenarioNaming:
+    def test_supplementary_names_prefixed(self):
+        from repro.core.policies import extra_scenarios
+
+        for scenario in extra_scenarios():
+            assert scenario.name.startswith("supp ")
+
+
+class TestExperimentTables:
+    def test_fig2_table_mentions_fit(self, context):
+        from repro.experiments.fig2_power_profiling import run_fig2
+
+        table = run_fig2(context).table()
+        assert "fitted P =" in table
+        assert "R^2" in table
+
+    def test_fig3_table_lists_sweep(self, context):
+        from repro.experiments.fig3_temperature_profiling import run_fig3
+
+        table = run_fig3(context).table()
+        assert "T_ac(K)" in table
+        assert "machine 10" in table
+
+    def test_fig5_table_reports_pairs(self, context):
+        from repro.experiments.fig5_consolidation_effect import run_fig5
+
+        table = run_fig5(context).table()
+        assert "#2 vs #3" in table
+
+    def test_fig10_table_ranks(self, context):
+        from repro.experiments.fig10_average_power import run_fig10
+
+        table = run_fig10(context).table()
+        assert "avg power" in table
+
+    def test_headline_table_states_claims(self, context):
+        from repro.experiments.headline import run_headline
+
+        table = run_headline(context).table()
+        assert "temperature constraint violated: False" in table
+
+
+class TestOptimizerIndexSharing:
+    def test_policy_layer_reuses_optimizer_index(self, context):
+        # The whole sweep shares one Algorithm-1 pre-processing pass.
+        from repro.core.policies import scenario_by_number
+
+        optimizer = context.optimizer
+        index_before = optimizer.index
+        scenario_by_number(8).decide(
+            context.model,
+            0.3 * context.testbed.total_capacity,
+            optimizer=optimizer,
+        )
+        assert optimizer.index is index_before

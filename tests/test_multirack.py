@@ -1,0 +1,124 @@
+"""Tests for the multi-rack room and the rack-granular baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import JointOptimizer
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.experiments.multirack import (
+    rack_coolness_order,
+    rack_granular_decision,
+)
+from repro.testbed.multirack import MultiRackConfig, build_multirack_testbed
+
+
+@pytest.fixture(scope="module")
+def small_room():
+    config = MultiRackConfig(n_racks=2, machines_per_rack=4)
+    testbed = build_multirack_testbed(config, seed=5)
+    model = testbed.profile().system_model
+    return config, testbed, model
+
+
+class TestConfig:
+    def test_machine_rack_arithmetic(self):
+        config = MultiRackConfig(n_racks=3, machines_per_rack=10)
+        assert config.n_machines == 30
+        assert config.rack_of(0) == 0
+        assert config.rack_of(29) == 2
+        assert config.rack_members(1) == list(range(10, 20))
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            MultiRackConfig(n_racks=0)
+        with pytest.raises(ConfigurationError):
+            MultiRackConfig(
+                near_rack_fraction=0.5, far_rack_fraction=0.9
+            )
+        with pytest.raises(ConfigurationError):
+            MultiRackConfig(height_falloff=0.9)
+
+    def test_rejects_out_of_range_ids(self):
+        config = MultiRackConfig(n_racks=2, machines_per_rack=3)
+        with pytest.raises(ConfigurationError):
+            config.rack_of(6)
+        with pytest.raises(ConfigurationError):
+            config.rack_members(2)
+
+
+class TestRoomGeometry:
+    def test_near_rack_breathes_more_supply_air(self, small_room):
+        config, testbed, _ = small_room
+        fractions = [n.supply_fraction for n in testbed.room.nodes]
+        near = np.mean([fractions[i] for i in config.rack_members(0)])
+        far = np.mean([fractions[i] for i in config.rack_members(1)])
+        assert near > far
+
+    def test_within_rack_gradient(self, small_room):
+        config, testbed, _ = small_room
+        for rack in range(config.n_racks):
+            members = config.rack_members(rack)
+            fracs = [testbed.room.nodes[i].supply_fraction for i in members]
+            assert fracs[0] > fracs[-1]
+
+    def test_cooling_plant_scaled_to_room(self):
+        big = build_multirack_testbed(
+            MultiRackConfig(n_racks=4, machines_per_rack=10), seed=1
+        )
+        assert big.cooler.q_max == pytest.approx(24000.0)
+        assert big.cooler.supply_flow == pytest.approx(2.0)
+
+
+class TestRackGranularBaseline:
+    def test_coolness_order_prefers_near_rack(self, small_room):
+        config, _, model = small_room
+        assert rack_coolness_order(model, config)[0] == 0
+
+    def test_whole_racks_only(self, small_room):
+        config, _, model = small_room
+        decision = rack_granular_decision(model, config, 100.0)
+        on = set(decision.on_ids)
+        for rack in range(config.n_racks):
+            members = set(config.rack_members(rack))
+            assert members <= on or not (members & on)
+
+    def test_even_within_rack(self, small_room):
+        config, _, model = small_room
+        decision = rack_granular_decision(model, config, 100.0)
+        rack0 = config.rack_members(0)
+        loads = [decision.loads[i] for i in rack0]
+        assert np.ptp(loads) < 1e-9
+
+    def test_serves_the_load(self, small_room):
+        config, _, model = small_room
+        decision = rack_granular_decision(model, config, 150.0)
+        assert decision.total_load == pytest.approx(150.0)
+
+    def test_overload_rejected(self, small_room):
+        config, _, model = small_room
+        with pytest.raises(InfeasibleError):
+            rack_granular_decision(model, config, 1e6)
+
+    def test_machine_level_optimum_never_loses(self, small_room):
+        config, testbed, model = small_room
+        optimizer = JointOptimizer(model)
+        from repro.core.policies import scenario_by_number
+
+        for fraction in (0.2, 0.5, 0.8):
+            load = fraction * testbed.total_capacity
+            rack_power = testbed.evaluate(
+                rack_granular_decision(model, config, load)
+            ).total_power
+            opt_power = testbed.evaluate(
+                scenario_by_number(8).decide(model, load, optimizer=optimizer)
+            ).total_power
+            assert opt_power <= rack_power * 1.001
+
+    def test_no_temperature_violations(self, small_room):
+        config, testbed, model = small_room
+        for fraction in (0.2, 0.6, 0.95):
+            load = fraction * testbed.total_capacity
+            record = testbed.evaluate(
+                rack_granular_decision(model, config, load)
+            )
+            assert not record.temperature_violated

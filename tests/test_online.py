@@ -1,0 +1,150 @@
+"""Tests for the online (RLS) model estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import NodeCoefficients, PowerModel
+from repro.errors import ConfigurationError, ProfilingError
+from repro.profiling.online import (
+    OnlinePowerEstimator,
+    OnlineThermalEstimator,
+    RecursiveLeastSquares,
+)
+
+
+class TestRecursiveLeastSquares:
+    def test_recovers_static_line(self, rng):
+        rls = RecursiveLeastSquares(2, forgetting=1.0)
+        for _ in range(300):
+            x = rng.uniform(0.0, 40.0)
+            rls.update([x, 1.0], 1.5 * x + 40.0)
+        # The finite initial covariance acts as a weak zero prior, so
+        # convergence is to within ~1e-5, not machine precision.
+        assert rls.coefficients[0] == pytest.approx(1.5, abs=1e-4)
+        assert rls.coefficients[1] == pytest.approx(40.0, abs=1e-2)
+
+    def test_recovers_under_noise(self, rng):
+        rls = RecursiveLeastSquares(2, forgetting=1.0)
+        for _ in range(3000):
+            x = rng.uniform(0.0, 40.0)
+            rls.update([x, 1.0], 1.5 * x + 40.0 + rng.normal(0.0, 0.5))
+        assert rls.coefficients[0] == pytest.approx(1.5, abs=0.01)
+
+    def test_forgetting_tracks_drift(self, rng):
+        # Slope changes midway; with forgetting the estimate follows.
+        rls = RecursiveLeastSquares(2, forgetting=0.98)
+        for _ in range(500):
+            x = rng.uniform(0.0, 40.0)
+            rls.update([x, 1.0], 1.5 * x + 40.0)
+        for _ in range(500):
+            x = rng.uniform(0.0, 40.0)
+            rls.update([x, 1.0], 2.0 * x + 40.0)
+        assert rls.coefficients[0] == pytest.approx(2.0, abs=0.05)
+
+    def test_no_forgetting_averages_instead(self, rng):
+        rls = RecursiveLeastSquares(2, forgetting=1.0)
+        for _ in range(500):
+            x = rng.uniform(0.0, 40.0)
+            rls.update([x, 1.0], 1.5 * x + 40.0)
+        for _ in range(500):
+            x = rng.uniform(0.0, 40.0)
+            rls.update([x, 1.0], 2.0 * x + 40.0)
+        # Equal evidence for both regimes: the estimate sits between.
+        assert 1.55 < rls.coefficients[0] < 1.95
+
+    def test_residual_shrinks(self, rng):
+        rls = RecursiveLeastSquares(2)
+        residuals = []
+        for _ in range(200):
+            x = rng.uniform(0.0, 40.0)
+            residuals.append(abs(rls.update([x, 1.0], 1.5 * x + 40.0)))
+        assert np.mean(residuals[-20:]) < np.mean(residuals[:20])
+
+    def test_warm_start_from_prior(self):
+        rls = RecursiveLeastSquares(
+            2,
+            initial_coefficients=[1.5, 40.0],
+            initial_covariance=1e-3,
+        )
+        assert rls.predict([10.0, 1.0]) == pytest.approx(55.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecursiveLeastSquares(0)
+        with pytest.raises(ConfigurationError):
+            RecursiveLeastSquares(2, forgetting=0.0)
+        rls = RecursiveLeastSquares(2)
+        with pytest.raises(ConfigurationError):
+            rls.update([1.0], 2.0)
+        with pytest.raises(ProfilingError):
+            rls.update([np.nan, 1.0], 2.0)
+
+
+class TestOnlinePowerEstimator:
+    def test_converges_to_plant(self, rng):
+        estimator = OnlinePowerEstimator()
+        for _ in range(400):
+            load = rng.uniform(0.0, 40.0)
+            estimator.observe(load, 1.425 * load + 38.0 + rng.normal(0, 0.5))
+        model = estimator.current_model()
+        assert model.w1 == pytest.approx(1.425, abs=0.03)
+        assert model.w2 == pytest.approx(38.0, abs=0.5)
+
+    def test_warm_start_tracks_drift(self, rng):
+        prior = PowerModel(w1=1.425, w2=38.0)
+        estimator = OnlinePowerEstimator(initial=prior, forgetting=0.99)
+        # Firmware update: idle power rises 5 W.
+        for _ in range(600):
+            load = rng.uniform(0.0, 40.0)
+            estimator.observe(load, 1.425 * load + 43.0)
+        assert estimator.current_model().w2 == pytest.approx(43.0, abs=0.5)
+
+    def test_unphysical_until_informed(self):
+        estimator = OnlinePowerEstimator()
+        with pytest.raises(ProfilingError):
+            estimator.current_model()
+
+
+class TestOnlineThermalEstimator:
+    def plant(self, t_ac, power):
+        return 0.92 * t_ac + 0.47 * power + 8.0
+
+    def test_converges_to_plant(self, rng):
+        estimator = OnlineThermalEstimator()
+        for _ in range(800):
+            t_ac = rng.uniform(288.0, 302.0)
+            power = rng.uniform(38.0, 98.0)
+            estimator.observe(
+                t_ac, power, self.plant(t_ac, power) + rng.normal(0, 0.3)
+            )
+        node = estimator.current_model()
+        assert node.alpha == pytest.approx(0.92, abs=0.03)
+        assert node.beta == pytest.approx(0.47, abs=0.02)
+
+    def test_tracks_dust_buildup(self, rng):
+        # Dust halves theta over time -> beta rises; the warm-started
+        # estimator must follow.
+        prior = NodeCoefficients(alpha=0.92, beta=0.47, gamma=8.0)
+        estimator = OnlineThermalEstimator(initial=prior, forgetting=0.99)
+        for _ in range(800):
+            t_ac = rng.uniform(288.0, 302.0)
+            power = rng.uniform(38.0, 98.0)
+            drifted = 0.92 * t_ac + 0.60 * power + 8.0
+            estimator.observe(t_ac, power, drifted + rng.normal(0, 0.3))
+        assert estimator.current_model().beta == pytest.approx(
+            0.60, abs=0.02
+        )
+
+    def test_refit_model_keeps_optimizer_safe(self, rng):
+        # End to end: drift the plant, track it online, re-optimize, and
+        # confirm the refreshed model predicts the drifted plant.
+        prior = NodeCoefficients(alpha=0.92, beta=0.47, gamma=8.0)
+        estimator = OnlineThermalEstimator(initial=prior, forgetting=0.99)
+        for _ in range(600):
+            t_ac = rng.uniform(288.0, 302.0)
+            power = rng.uniform(38.0, 98.0)
+            estimator.observe(t_ac, power, 0.92 * t_ac + 0.58 * power + 8.0)
+        node = estimator.current_model()
+        predicted = node.cpu_temperature(295.0, 80.0)
+        truth = 0.92 * 295.0 + 0.58 * 80.0 + 8.0
+        assert predicted == pytest.approx(truth, abs=0.3)

@@ -1,0 +1,143 @@
+"""Cross-validation of the closed form against numerical optimization.
+
+The paper's central mathematical claim is that Eqs. 21-22 are *the*
+optimum of the Section II-C program.  These tests check that claim
+independently: scipy's constrained optimizer, given the same fitted
+model, must not find any feasible point cheaper than the closed form.
+"""
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.core.closed_form import solve_closed_form
+from tests.conftest import make_system_model
+
+
+def model_total_power(model, loads, t_ac):
+    """The paper's objective: Eq. 9 summed plus Eq. 10 (set point treated
+    as fixed, exactly as in the Lagrangian of Eq. 11)."""
+    t_sp_ref = 300.0
+    servers = sum(model.power.power(float(l)) for l in loads)
+    cooling = model.cooler.c_f_ac * (t_sp_ref - t_ac)
+    return servers + cooling
+
+
+def scipy_optimum(model, on_ids, total_load):
+    """Numerically minimize the paper's objective over (loads, t_ac).
+
+    Variables are scaled to O(1) and the search is multi-started (an even
+    split at a conservative supply temperature, and the closed-form point
+    itself) so SLSQP converges reliably; the best successful run wins.
+    """
+    n = len(on_ids)
+    cap = np.array([model.capacities[i] for i in on_ids])
+    t_lo, t_hi = model.cooler.t_ac_min, model.cooler.t_ac_max
+
+    def unpack(z):
+        loads = z[:n] * cap
+        t_ac = t_lo + z[n] * (t_hi - t_lo)
+        return loads, t_ac
+
+    def objective(z):
+        loads, t_ac = unpack(z)
+        return model_total_power(model, loads, t_ac) / 1e4
+
+    def temp_margin(z):
+        loads, t_ac = unpack(z)
+        return np.array(
+            [
+                model.t_max
+                - model.nodes[i].cpu_temperature(
+                    t_ac, model.power.power(float(loads[j]))
+                )
+                for j, i in enumerate(on_ids)
+            ]
+        )
+
+    constraints = [
+        {
+            "type": "eq",
+            "fun": lambda z: (np.sum(unpack(z)[0]) - total_load)
+            / total_load,
+        },
+        {"type": "ineq", "fun": temp_margin},
+    ]
+    bounds = [(0.0, 1.0)] * n + [(0.0, 1.0)]
+
+    starts = []
+    even = np.full(n, total_load / n) / cap
+    starts.append(np.concatenate([even, [0.1]]))
+    solution = solve_closed_form(model, on_ids, total_load)
+    z_closed = np.concatenate(
+        [
+            solution.loads[list(on_ids)] / cap,
+            [(solution.t_ac - t_lo) / (t_hi - t_lo)],
+        ]
+    )
+    starts.append(z_closed)
+
+    best = None
+    for z0 in starts:
+        result = optimize.minimize(
+            objective,
+            np.clip(z0, 0.0, 1.0),
+            method="SLSQP",
+            bounds=bounds,
+            constraints=constraints,
+            options={"maxiter": 800, "ftol": 1e-12},
+        )
+        if result.success and (best is None or result.fun < best.fun):
+            best = result
+    if best is None:
+        return None
+    loads, t_ac = unpack(best.x)
+    best.fun = model_total_power(model, loads, t_ac)
+    best.loads = loads
+    best.t_ac = t_ac
+    return best
+
+
+class TestClosedFormIsOptimal:
+    @pytest.mark.parametrize("load_fraction", [0.15, 0.4, 0.7, 0.95])
+    def test_scipy_cannot_beat_closed_form(self, load_fraction):
+        model = make_system_model(n=5)
+        on = list(range(5))
+        load = load_fraction * model.total_capacity
+        solution = solve_closed_form(model, on, load)
+        closed = model_total_power(
+            model, solution.loads[on], solution.t_ac
+        )
+        numeric = scipy_optimum(model, on, load)
+        assert numeric is not None
+        # Numerical optimum may be equal (up to solver tolerance) but
+        # never meaningfully better.
+        assert closed <= numeric.fun + 1e-3
+
+    def test_agreement_when_interior(self):
+        # When no clamp/pinning engages, the two solutions must coincide.
+        model = make_system_model(n=4, t_max=330.0)
+        load = 0.6 * model.total_capacity
+        solution = solve_closed_form(model, [0, 1, 2, 3], load)
+        numeric = scipy_optimum(model, [0, 1, 2, 3], load)
+        assert numeric is not None
+        if not solution.clamped and not solution.repaired:
+            assert np.allclose(
+                solution.loads[[0, 1, 2, 3]], numeric.loads, atol=0.05
+            )
+            assert solution.t_ac == pytest.approx(numeric.t_ac, abs=0.05)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_models(self, seed):
+        rng = np.random.default_rng(seed)
+        model = make_system_model(
+            n=4, alpha_spread=float(rng.uniform(0.1, 0.5))
+        )
+        load = float(rng.uniform(0.2, 0.9)) * model.total_capacity
+        solution = solve_closed_form(model, [0, 1, 2, 3], load)
+        closed = model_total_power(
+            model, solution.loads[[0, 1, 2, 3]], solution.t_ac
+        )
+        numeric = scipy_optimum(model, [0, 1, 2, 3], load)
+        if numeric is not None:
+            assert closed <= numeric.fun + 1e-3

@@ -1,0 +1,83 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plots import GLYPHS, ascii_plot, sparkline
+from repro.analysis.series import FigureSeries
+from repro.errors import ConfigurationError
+
+
+def make_series(n_series=2, n_points=5):
+    return FigureSeries(
+        name="figT",
+        title="test series",
+        x_label="Load (%)",
+        y_label="W",
+        x=tuple(float(10 * (i + 1)) for i in range(n_points)),
+        series={
+            f"s{j}": tuple(
+                100.0 * (j + 1) + 10.0 * i for i in range(n_points)
+            )
+            for j in range(n_series)
+        },
+    )
+
+
+class TestAsciiPlot:
+    def test_contains_title_and_legend(self):
+        out = ascii_plot(make_series())
+        assert "figT" in out
+        assert "o = s0" in out
+        assert "x = s1" in out
+
+    def test_glyphs_appear_in_grid(self):
+        out = ascii_plot(make_series())
+        body = out.splitlines()[1:-3]
+        joined = "".join(body)
+        assert "o" in joined
+        assert "x" in joined
+
+    def test_point_counts_at_most_series_points(self):
+        series = make_series(n_series=1, n_points=4)
+        out = ascii_plot(series)
+        assert sum(line.count("o") for line in out.splitlines()[1:-2]) <= 4
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot(make_series(), width=5, height=3)
+
+    def test_rejects_too_many_series(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot(make_series(n_series=len(GLYPHS) + 1))
+
+    def test_flat_series_does_not_crash(self):
+        series = FigureSeries(
+            name="flat",
+            title="flat",
+            x_label="x",
+            y_label="y",
+            x=(1.0, 2.0),
+            series={"s": (5.0, 5.0)},
+        )
+        assert "flat" in ascii_plot(series)
+
+    def test_axis_labels_show_range(self):
+        out = ascii_plot(make_series())
+        assert "10" in out
+        assert "50" in out
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_monotone_values_monotone_blocks(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line == "".join(sorted(line))
+
+    def test_constant_input(self):
+        assert len(set(sparkline([4.0, 4.0, 4.0]))) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])

@@ -1,0 +1,162 @@
+"""Tests for the eight Fig. 4 scenarios and the policy primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (
+    Scenario,
+    bottom_up_loads,
+    conservative_set_point,
+    coolness_order,
+    even_loads,
+    extra_scenarios,
+    minimal_on_set,
+    paper_scenarios,
+    scenario_by_number,
+)
+from repro.errors import ConfigurationError, InfeasibleError
+from tests.conftest import make_system_model
+
+
+class TestScenarioMatrix:
+    def test_exactly_eight_numbered_scenarios(self):
+        scenarios = paper_scenarios()
+        assert [s.number for s in scenarios] == list(range(1, 9))
+
+    def test_matrix_matches_figure_four(self):
+        expected = {
+            1: ("even", False, False),
+            2: ("bottom_up", False, False),
+            3: ("bottom_up", False, True),
+            4: ("even", True, False),
+            5: ("bottom_up", True, False),
+            6: ("optimal", True, False),
+            7: ("bottom_up", True, True),
+            8: ("optimal", True, True),
+        }
+        for s in paper_scenarios():
+            assert (
+                s.distribution,
+                s.ac_control,
+                s.consolidation,
+            ) == expected[s.number]
+
+    def test_lookup_by_number(self):
+        assert scenario_by_number(7).distribution == "bottom_up"
+        with pytest.raises(ConfigurationError):
+            scenario_by_number(11)
+
+    def test_extra_scenarios_marked_supplementary(self):
+        assert all(s.supplementary for s in extra_scenarios())
+
+    def test_names_are_distinct(self):
+        names = [s.name for s in paper_scenarios()]
+        assert len(set(names)) == 8
+
+    def test_optimal_without_ac_control_rejected(self, system_model):
+        bad = Scenario(99, "optimal", ac_control=False, consolidation=True)
+        with pytest.raises(ConfigurationError):
+            bad.decide(system_model, 50.0)
+
+
+class TestDistributions:
+    def test_even_split(self, system_model):
+        loads = even_loads(system_model, [0, 1, 2, 3], 80.0)
+        assert np.allclose(loads, 20.0)
+
+    def test_even_respects_capacity(self):
+        model = make_system_model(n=3)
+        loads = even_loads(model, [0, 1, 2], 119.0)
+        assert np.all(loads <= 40.0 + 1e-9)
+        assert loads.sum() == pytest.approx(119.0)
+
+    def test_even_rejects_overload(self, system_model):
+        with pytest.raises(InfeasibleError):
+            even_loads(system_model, [0, 1], 90.0)
+
+    def test_bottom_up_fills_coolest_first(self, system_model):
+        loads = bottom_up_loads(system_model, [0, 1, 2, 3], 60.0)
+        order = coolness_order(system_model)
+        assert loads[order[0]] == pytest.approx(40.0)
+        assert loads[order[1]] == pytest.approx(20.0)
+        assert loads[order[2]] == pytest.approx(0.0)
+
+    def test_bottom_up_sums_to_load(self, system_model):
+        loads = bottom_up_loads(system_model, [0, 1, 2, 3], 97.0)
+        assert loads.sum() == pytest.approx(97.0)
+
+    def test_coolness_order_prefers_low_indices(self, system_model):
+        # The fixture builds machine 0 coolest by construction.
+        assert coolness_order(system_model)[0] == 0
+
+    def test_minimal_on_set_size(self, system_model):
+        assert len(minimal_on_set(system_model, 79.0)) == 2
+        assert len(minimal_on_set(system_model, 81.0)) == 3
+
+    def test_minimal_on_set_rejects_overload(self, system_model):
+        with pytest.raises(InfeasibleError):
+            minimal_on_set(system_model, 400.0)
+
+
+class TestSetPoints:
+    def test_conservative_set_point_safe_at_full_load(self, system_model):
+        _, t_ac = conservative_set_point(system_model)
+        temps = system_model.predicted_cpu_temperatures(
+            list(system_model.capacities), t_ac
+        )
+        assert np.all(temps <= system_model.t_max + 1e-6)
+
+    def test_ac_control_binds_at_t_max_or_band_edge(self, system_model):
+        scenario = scenario_by_number(5)
+        decision = scenario.decide(system_model, 120.0)
+        temps = system_model.predicted_cpu_temperatures(
+            decision.loads, decision.t_ac_target
+        )
+        at_limit = np.max(temps) == pytest.approx(
+            system_model.t_max, abs=1e-6
+        )
+        at_edge = decision.t_ac_target == pytest.approx(
+            system_model.cooler.t_ac_max
+        )
+        assert at_limit or at_edge
+
+    def test_no_ac_control_uses_conservative_set_point(self, system_model):
+        expected_sp, _ = conservative_set_point(system_model)
+        for number in (1, 2, 3):
+            decision = scenario_by_number(number).decide(system_model, 50.0)
+            assert decision.t_sp == pytest.approx(expected_sp)
+
+
+class TestDecisions:
+    @pytest.mark.parametrize("number", range(1, 9))
+    def test_every_scenario_serves_the_load(self, system_model, number):
+        decision = scenario_by_number(number).decide(system_model, 90.0)
+        assert decision.total_load == pytest.approx(90.0)
+
+    @pytest.mark.parametrize("number", range(1, 9))
+    def test_loads_only_on_powered_machines(self, system_model, number):
+        decision = scenario_by_number(number).decide(system_model, 90.0)
+        off = set(range(4)) - set(decision.on_ids)
+        assert all(decision.loads[i] == 0.0 for i in off)
+
+    def test_consolidating_scenarios_power_fewer_machines(
+        self, system_model
+    ):
+        full = scenario_by_number(5).decide(system_model, 50.0)
+        consolidated = scenario_by_number(7).decide(system_model, 50.0)
+        assert consolidated.machines_on < full.machines_on
+
+    def test_non_consolidating_scenarios_keep_everything_on(
+        self, system_model
+    ):
+        for number in (1, 2, 4, 5, 6):
+            decision = scenario_by_number(number).decide(system_model, 50.0)
+            assert decision.machines_on == 4
+
+    def test_rejects_non_positive_load(self, system_model):
+        with pytest.raises(ConfigurationError):
+            scenario_by_number(1).decide(system_model, 0.0)
+
+    def test_scenario_name_embedded_in_decision(self, system_model):
+        decision = scenario_by_number(8).decide(system_model, 50.0)
+        assert decision.scenario.startswith("#8")

@@ -1,0 +1,145 @@
+"""Tests for the least-squares model fitters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProfilingError
+from repro.profiling.regression import (
+    fit_cooler_model,
+    fit_node_coefficients,
+    fit_power_model,
+)
+
+
+class TestPowerFit:
+    def test_recovers_exact_coefficients(self):
+        loads = np.linspace(0.0, 40.0, 50)
+        powers = 1.5 * loads + 38.0
+        model, report = fit_power_model(loads, powers)
+        assert model.w1 == pytest.approx(1.5)
+        assert model.w2 == pytest.approx(38.0)
+        assert report.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_close(self, rng):
+        loads = np.tile(np.array([0.0, 4.0, 10.0, 20.0, 30.0]), 60)
+        powers = 1.5 * loads + 38.0 + rng.normal(0.0, 0.5, loads.shape)
+        model, report = fit_power_model(loads, powers)
+        assert model.w1 == pytest.approx(1.5, rel=0.02)
+        assert model.w2 == pytest.approx(38.0, rel=0.02)
+        assert report.rmse < 1.0
+
+    def test_rejects_constant_load(self):
+        with pytest.raises(ProfilingError):
+            fit_power_model(np.full(10, 5.0), np.full(10, 45.0))
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ProfilingError):
+            fit_power_model(np.array([1.0]), np.array([40.0]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ProfilingError):
+            fit_power_model(np.zeros(5), np.zeros(6))
+
+    def test_rejects_decreasing_power(self):
+        loads = np.linspace(0.0, 40.0, 20)
+        with pytest.raises(ProfilingError):
+            fit_power_model(loads, 100.0 - loads)
+
+    def test_rejects_nan(self):
+        loads = np.linspace(0.0, 10.0, 10)
+        powers = loads.copy()
+        powers[3] = np.nan
+        with pytest.raises(ProfilingError):
+            fit_power_model(loads, 1.0 + powers)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.floats(0.5, 5.0),
+        st.floats(5.0, 100.0),
+        st.floats(0.0, 0.3),
+    )
+    def test_recovery_property(self, w1, w2, noise):
+        rng = np.random.default_rng(0)
+        loads = np.tile(np.linspace(0.0, 40.0, 9), 30)
+        powers = w1 * loads + w2 + rng.normal(0.0, noise, loads.shape)
+        model, _ = fit_power_model(loads, powers)
+        assert model.w1 == pytest.approx(w1, rel=0.05, abs=0.02)
+        assert model.w2 == pytest.approx(w2, rel=0.05, abs=0.5)
+
+
+class TestThermalFit:
+    def make_sweep(self, alpha=0.9, beta=0.47, gamma=15.0, noise=0.0):
+        rng = np.random.default_rng(1)
+        t_ac = np.repeat(np.array([291.0, 294.0, 297.0, 300.0]), 25)
+        power = np.tile(np.linspace(38.0, 98.0, 25), 4)
+        t_cpu = alpha * t_ac + beta * power + gamma
+        if noise:
+            t_cpu = t_cpu + rng.normal(0.0, noise, t_cpu.shape)
+        return t_ac, power, t_cpu
+
+    def test_recovers_exact_coefficients(self):
+        t_ac, power, t_cpu = self.make_sweep()
+        node, report = fit_node_coefficients(t_ac, power, t_cpu)
+        assert node.alpha == pytest.approx(0.9)
+        assert node.beta == pytest.approx(0.47)
+        assert node.gamma == pytest.approx(15.0, abs=1e-6)
+        assert report.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_close(self):
+        t_ac, power, t_cpu = self.make_sweep(noise=0.4)
+        node, _ = fit_node_coefficients(t_ac, power, t_cpu)
+        assert node.alpha == pytest.approx(0.9, abs=0.05)
+        assert node.beta == pytest.approx(0.47, abs=0.01)
+
+    def test_rejects_constant_set_point(self):
+        t_ac = np.full(50, 295.0)
+        power = np.linspace(38.0, 98.0, 50)
+        with pytest.raises(ProfilingError):
+            fit_node_coefficients(t_ac, power, 0.9 * t_ac + 0.5 * power)
+
+    def test_rejects_unphysical_alpha(self):
+        t_ac, power, _ = self.make_sweep()
+        t_cpu = -0.5 * t_ac + 0.47 * power + 400.0
+        with pytest.raises(ProfilingError):
+            fit_node_coefficients(t_ac, power, t_cpu)
+
+
+class TestCoolerFit:
+    def make_telemetry(self, c_f_ac=6750.0, fan=3000.0):
+        t_ac = np.tile(np.linspace(288.0, 299.0, 12), 4)
+        t_sp = t_ac + np.repeat(np.array([0.6, 1.2, 1.8, 2.4]), 12)
+        p_ac = c_f_ac * (t_sp - t_ac) + fan
+        server = 400.0 + 1500.0 * np.repeat(np.arange(4), 12) / 3.0
+        return t_sp, t_ac, p_ac, server
+
+    def test_recovers_slope_and_floor(self):
+        t_sp, t_ac, p_ac, server = self.make_telemetry()
+        model, report = fit_cooler_model(
+            t_sp, t_ac, p_ac, server, t_ac_min=283.15, t_ac_max=302.15
+        )
+        assert model.c_f_ac == pytest.approx(6750.0, rel=1e-6)
+        assert model.idle_power == pytest.approx(3000.0, rel=1e-6)
+        assert report.r_squared == pytest.approx(1.0)
+
+    def test_actuation_map_round_trip(self):
+        t_sp, t_ac, p_ac, server = self.make_telemetry()
+        model, _ = fit_cooler_model(
+            t_sp, t_ac, p_ac, server, t_ac_min=283.15, t_ac_max=302.15
+        )
+        sp = model.set_point_for(t_ac=294.0, total_server_power=1000.0)
+        back = model.supply_for_set_point(sp, total_server_power=1000.0)
+        assert back == pytest.approx(294.0)
+
+    def test_rejects_degenerate_delta(self):
+        t_ac = np.linspace(288.0, 299.0, 20)
+        with pytest.raises(ProfilingError):
+            fit_cooler_model(
+                t_ac,
+                t_ac,
+                np.full(20, 3000.0),
+                np.linspace(400.0, 2000.0, 20),
+                t_ac_min=283.15,
+                t_ac_max=302.15,
+            )

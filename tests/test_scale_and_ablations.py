@@ -1,0 +1,71 @@
+"""Tests for the scale study and the ablation drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    run_knob_isolation,
+    run_noise_robustness,
+)
+from repro.experiments.scale_study import (
+    ScaleStudyResult,
+    run_scale_study,
+    scaled_config,
+)
+
+
+class TestScaledConfig:
+    def test_cooling_plant_scales_with_rack(self):
+        small = scaled_config(10)
+        big = scaled_config(40)
+        assert big.cooler_q_max == pytest.approx(4.0 * small.cooler_q_max)
+        assert big.cooler_flow == pytest.approx(4.0 * small.cooler_flow)
+        assert big.cooler_fan_power == pytest.approx(
+            4.0 * small.cooler_fan_power
+        )
+
+    def test_machine_constants_unchanged(self):
+        cfg = scaled_config(40)
+        assert cfg.w2 == pytest.approx(38.0)
+        assert cfg.capacity == pytest.approx(40.0)
+
+
+class TestScaleStudy:
+    def test_savings_positive_at_every_size(self):
+        result = run_scale_study(sizes=(10, 20), load_fractions=(0.3, 0.6))
+        assert all(p.avg_savings_percent > 3.0 for p in result.points)
+
+    def test_table_lists_all_sizes(self):
+        result = run_scale_study(sizes=(10, 20), load_fractions=(0.3,))
+        table = result.table()
+        assert "10" in table and "20" in table
+
+
+class TestKnobIsolation:
+    def test_joint_beats_each_knob_alone(self, context):
+        result = run_knob_isolation(context)
+        assert result.both_percent > result.ac_control_only_percent
+        assert result.both_percent > result.consolidation_only_percent
+        assert result.ac_control_only_percent > 0.0
+        assert result.consolidation_only_percent > 0.0
+
+
+class TestNoiseRobustness:
+    def test_zero_noise_baseline_and_nominal_close(self):
+        points = run_noise_robustness(
+            scales=(0.0, 1.0), load_fractions=(0.3, 0.6)
+        )
+        clean, nominal = points
+        assert clean.violations == 0
+        assert nominal.violations == 0
+        # Realistic sensor noise costs at most a few points of savings.
+        assert abs(
+            clean.avg_savings_percent - nominal.avg_savings_percent
+        ) < 5.0
+
+    def test_heavy_noise_stays_safe(self):
+        points = run_noise_robustness(
+            scales=(5.0,), load_fractions=(0.4, 0.8)
+        )
+        assert points[0].violations == 0
+        assert points[0].worst_overshoot_kelvin <= 0.0 + 1e-9

@@ -1,0 +1,195 @@
+"""Tests for the select/maxL subset problems (Section III-B reduction)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.select import (
+    brute_force_subset,
+    coordinates_at,
+    max_load,
+    optimal_subset,
+    ratio,
+    select_subset,
+    top_k_at,
+)
+from repro.errors import ConfigurationError, InfeasibleError
+
+PAIRS = [(10.0, 7.0), (2.0, 3.0), (1.0, 2.0), (0.2, 1.34)]
+
+
+def exhaustive_best_ratio(pairs, k, load):
+    best = -np.inf
+    best_set = None
+    for combo in itertools.combinations(range(len(pairs)), k):
+        t = ratio(pairs, combo, load)
+        if t > best:
+            best, best_set = t, sorted(combo)
+    return best_set, best
+
+
+class TestCoordinates:
+    def test_equation_26(self):
+        x = coordinates_at(PAIRS, t=2.0)
+        assert x[0] == pytest.approx(10.0 - 14.0)
+        assert x[3] == pytest.approx(0.2 - 2.68)
+
+    def test_top_k_at_zero_sorts_by_a(self):
+        assert top_k_at(PAIRS, 0.0, 2) == [0, 1]
+
+    def test_top_k_changes_over_time(self):
+        # Particle 0 falls fastest (b=7); late enough, it leaves the top.
+        assert 0 not in top_k_at(PAIRS, 10.0, 2)
+
+    def test_top_k_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            top_k_at(PAIRS, 0.0, 0)
+        with pytest.raises(ConfigurationError):
+            top_k_at(PAIRS, 0.0, 9)
+
+    def test_max_load_is_topk_sum(self):
+        t = 0.5
+        expected = sum(sorted(coordinates_at(PAIRS, t))[-2:])
+        assert max_load(PAIRS, t, 2) == pytest.approx(expected)
+
+    def test_max_load_decreases_with_time(self):
+        # All velocities are negative, so servable load shrinks as the
+        # supply temperature (time) rises.
+        assert max_load(PAIRS, 1.0, 3) < max_load(PAIRS, 0.0, 3)
+
+
+class TestRatio:
+    def test_ratio_definition(self):
+        assert ratio(PAIRS, [0, 1], 2.0) == pytest.approx((12.0 - 2.0) / 10.0)
+
+    def test_ratio_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ratio(PAIRS, [], 0.0)
+
+
+class TestSelectSubset:
+    def test_paper_counterexample_optimum(self):
+        subset, t = select_subset(PAIRS, 2, 0.0)
+        assert subset == [0, 3]
+        assert t == pytest.approx((10.2) / 8.34)
+
+    def test_k_equals_n(self):
+        subset, _ = select_subset(PAIRS, 4, 1.0)
+        assert subset == [0, 1, 2, 3]
+
+    def test_matches_exhaustive_small(self):
+        for k in (1, 2, 3):
+            for load in (0.0, 2.0, 6.0, 11.0):
+                subset, t = select_subset(PAIRS, k, load)
+                _, t_best = exhaustive_best_ratio(PAIRS, k, load)
+                assert t == pytest.approx(t_best, abs=1e-12)
+
+    def test_rejects_bad_pairs(self):
+        with pytest.raises(ConfigurationError):
+            select_subset([(1.0, 0.0)], 1, 0.0)
+        with pytest.raises(ConfigurationError):
+            select_subset([], 1, 0.0)
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 100.0), st.floats(0.1, 10.0)),
+            min_size=2,
+            max_size=7,
+        ),
+        st.data(),
+    )
+    def test_dinkelbach_matches_exhaustive(self, pairs, data):
+        k = data.draw(st.integers(1, len(pairs)))
+        load = data.draw(
+            st.floats(0.0, 0.9 * sum(a for a, _ in pairs))
+        )
+        _, t = select_subset(pairs, k, load)
+        _, t_best = exhaustive_best_ratio(pairs, k, load)
+        assert t == pytest.approx(t_best, abs=1e-9)
+
+
+class TestOptimalSubset:
+    def test_matches_brute_force(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(3, 9))
+            pairs = list(
+                zip(
+                    rng.uniform(50.0, 400.0, n).tolist(),
+                    rng.uniform(0.5, 5.0, n).tolist(),
+                )
+            )
+            load = float(rng.uniform(0.1, 0.6) * sum(a for a, _ in pairs))
+            w2 = float(rng.uniform(10.0, 60.0))
+            rho = float(rng.uniform(100.0, 600.0))
+            best, choices = optimal_subset(
+                pairs, load, w2=w2, rho=rho, theta=0.0
+            )
+            brute, brute_power = brute_force_subset(
+                pairs, load, w2=w2, rho=rho, theta=0.0
+            )
+            power = len(best) * w2 - rho * ratio(pairs, best, load)
+            assert power == pytest.approx(brute_power, abs=1e-6)
+
+    def test_high_idle_cost_prefers_fewer_machines(self):
+        pairs = [(100.0, 1.0)] * 5
+        few, _ = optimal_subset(
+            pairs, 50.0, w2=1000.0, rho=1.0, theta=0.0
+        )
+        many, _ = optimal_subset(
+            pairs, 50.0, w2=0.001, rho=1000.0, theta=0.0
+        )
+        assert len(few) <= len(many)
+
+    def test_capacity_filter(self):
+        pairs = [(100.0, 1.0)] * 4
+        best, _ = optimal_subset(
+            pairs,
+            70.0,
+            w2=1000.0,
+            rho=1.0,
+            theta=0.0,
+            capacities=[40.0] * 4,
+        )
+        assert len(best) >= 2  # one 40-task machine cannot carry 70
+
+    def test_t_min_marks_infeasible(self):
+        pairs = [(10.0, 1.0), (10.0, 1.0)]
+        with pytest.raises(InfeasibleError):
+            optimal_subset(
+                pairs, 25.0, w2=1.0, rho=1.0, theta=0.0, t_min=0.0
+            )
+
+    def test_t_max_clamp_applies(self):
+        pairs = [(1000.0, 1.0), (1000.0, 1.0)]
+        _, choices = optimal_subset(
+            pairs, 10.0, w2=1.0, rho=1.0, theta=0.0, t_max=5.0
+        )
+        assert all(c.t_clamped <= 5.0 + 1e-12 for c in choices)
+
+    def test_reports_one_choice_per_k(self):
+        _, choices = optimal_subset(
+            PAIRS, 1.0, w2=1.0, rho=1.0, theta=0.0
+        )
+        assert [c.k for c in choices] == [1, 2, 3, 4]
+
+
+class TestBruteForce:
+    def test_rejects_large_n(self):
+        pairs = [(1.0, 1.0)] * 23
+        with pytest.raises(ConfigurationError):
+            brute_force_subset(pairs, 1.0, w2=1.0, rho=1.0, theta=0.0)
+
+    def test_infeasible_when_capacity_short(self):
+        with pytest.raises(InfeasibleError):
+            brute_force_subset(
+                PAIRS,
+                100.0,
+                w2=1.0,
+                rho=1.0,
+                theta=0.0,
+                capacities=[1.0] * 4,
+            )

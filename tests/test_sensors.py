@@ -1,0 +1,113 @@
+"""Tests for sensor emulation and trace filtering."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.thermal.sensors import (
+    PowerMeter,
+    TemperatureSensor,
+    low_pass_filter,
+    moving_average,
+)
+
+
+class TestPowerMeter:
+    def test_reading_near_truth(self, rng):
+        meter = PowerMeter(rng=rng, noise_std=0.5)
+        readings = [meter.read(80.0) for _ in range(500)]
+        assert np.mean(readings) == pytest.approx(80.0, abs=0.15)
+
+    def test_quantization(self, rng):
+        meter = PowerMeter(rng=rng, noise_std=0.0, resolution=0.1)
+        assert meter.read(80.04) == pytest.approx(80.0)
+
+    def test_never_negative(self, rng):
+        meter = PowerMeter(rng=rng, noise_std=5.0)
+        assert all(meter.read(0.1) >= 0.0 for _ in range(200))
+
+    def test_read_many_shape(self, rng):
+        meter = PowerMeter(rng=rng)
+        out = meter.read_many(np.full(7, 50.0))
+        assert out.shape == (7,)
+
+    def test_rejects_negative_noise(self, rng):
+        with pytest.raises(ConfigurationError):
+            PowerMeter(rng=rng, noise_std=-1.0)
+
+    def test_rejects_zero_resolution(self, rng):
+        with pytest.raises(ConfigurationError):
+            PowerMeter(rng=rng, resolution=0.0)
+
+
+class TestTemperatureSensor:
+    def test_quantizes_to_whole_kelvin(self, rng):
+        sensor = TemperatureSensor(rng=rng, noise_std=0.0, resolution=1.0)
+        assert sensor.read(316.4) == pytest.approx(316.0)
+
+    def test_mean_near_truth(self, rng):
+        sensor = TemperatureSensor(rng=rng)
+        readings = [sensor.read(316.5) for _ in range(800)]
+        assert np.mean(readings) == pytest.approx(316.5, abs=0.3)
+
+    def test_read_many_matches_resolution(self, rng):
+        sensor = TemperatureSensor(rng=rng, resolution=0.5)
+        out = sensor.read_many(np.array([300.0, 310.0]))
+        assert np.allclose(out % 0.5, 0.0)
+
+
+class TestLowPassFilter:
+    def test_constant_signal_unchanged(self):
+        trace = np.full(100, 42.0)
+        assert np.allclose(low_pass_filter(trace, 0.1), 42.0)
+
+    def test_reduces_noise_variance(self, rng):
+        trace = 50.0 + rng.normal(0.0, 2.0, size=2000)
+        filtered = low_pass_filter(trace, 0.05)
+        assert np.var(filtered[100:]) < 0.2 * np.var(trace[100:])
+
+    def test_tracks_step_eventually(self):
+        trace = np.concatenate([np.zeros(50), np.full(400, 10.0)])
+        filtered = low_pass_filter(trace, 0.05)
+        assert filtered[-1] == pytest.approx(10.0, abs=0.1)
+
+    def test_empty_trace(self):
+        assert low_pass_filter(np.array([]), 0.1).size == 0
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            low_pass_filter(np.zeros(5), 0.0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ConfigurationError):
+            low_pass_filter(np.zeros((5, 2)), 0.1)
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+    def test_output_bounded_by_input_range(self, values):
+        trace = np.asarray(values)
+        filtered = low_pass_filter(trace, 0.3)
+        assert filtered.min() >= trace.min() - 1e-9
+        assert filtered.max() <= trace.max() + 1e-9
+
+    def test_alpha_one_is_identity(self, rng):
+        trace = rng.normal(size=30)
+        assert np.allclose(low_pass_filter(trace, 1.0), trace)
+
+
+class TestMovingAverage:
+    def test_constant_unchanged(self):
+        assert np.allclose(moving_average(np.full(20, 3.0), 5), 3.0)
+
+    def test_window_one_is_identity(self, rng):
+        trace = rng.normal(size=15)
+        assert np.allclose(moving_average(trace, 1), trace)
+
+    def test_preserves_length(self, rng):
+        trace = rng.normal(size=33)
+        assert moving_average(trace, 7).shape == trace.shape
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            moving_average(np.zeros(5), 0)

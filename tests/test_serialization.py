@@ -1,0 +1,89 @@
+"""Tests for fitted-model JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    load_system_model,
+    save_system_model,
+    system_model_from_dict,
+    system_model_to_dict,
+)
+from repro.errors import ConfigurationError
+from tests.conftest import make_system_model
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        model = make_system_model(n=5)
+        restored = system_model_from_dict(system_model_to_dict(model))
+        assert restored == model
+
+    def test_file_round_trip(self, tmp_path):
+        model = make_system_model(n=3)
+        path = tmp_path / "model.json"
+        save_system_model(model, path)
+        assert load_system_model(path) == model
+
+    def test_profiled_model_round_trip(self, context, tmp_path):
+        path = tmp_path / "profiled.json"
+        save_system_model(context.model, path)
+        restored = load_system_model(path)
+        assert restored.power == context.model.power
+        assert restored.nodes == context.model.nodes
+        assert restored.cooler == context.model.cooler
+
+    def test_document_is_human_readable_json(self, tmp_path):
+        model = make_system_model()
+        path = tmp_path / "model.json"
+        save_system_model(model, path)
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-system-model"
+        assert data["version"] == FORMAT_VERSION
+        assert "alpha" in data["nodes"][0]
+
+    def test_restored_model_optimizes_identically(self, tmp_path):
+        from repro.core.optimizer import JointOptimizer
+
+        model = make_system_model(n=6)
+        path = tmp_path / "model.json"
+        save_system_model(model, path)
+        restored = load_system_model(path)
+        a = JointOptimizer(model).solve(100.0)
+        b = JointOptimizer(restored).solve(100.0)
+        assert a.on_ids == b.on_ids
+        assert a.t_ac == pytest.approx(b.t_ac)
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_system_model(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_system_model(path)
+
+    def test_wrong_format_tag(self):
+        with pytest.raises(ConfigurationError):
+            system_model_from_dict({"format": "something-else"})
+
+    def test_wrong_version(self):
+        doc = system_model_to_dict(make_system_model())
+        doc["version"] = FORMAT_VERSION + 1
+        with pytest.raises(ConfigurationError):
+            system_model_from_dict(doc)
+
+    def test_missing_field(self):
+        doc = system_model_to_dict(make_system_model())
+        del doc["power"]
+        with pytest.raises(ConfigurationError):
+            system_model_from_dict(doc)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigurationError):
+            system_model_from_dict([1, 2, 3])

@@ -1,0 +1,43 @@
+"""Tests for the synthetic hand-built model helper."""
+
+import pytest
+
+from repro.testbed.synthetic import make_system_model
+
+
+class TestMakeSystemModel:
+    def test_default_shape(self):
+        model = make_system_model()
+        assert model.node_count == 4
+        assert model.total_capacity == pytest.approx(160.0)
+
+    def test_machine_zero_coolest(self):
+        model = make_system_model(n=6)
+        idle = model.power.w2
+        temps = [
+            node.cpu_temperature(295.0, idle) for node in model.nodes
+        ]
+        assert temps == sorted(temps)
+
+    def test_spread_parameter_controls_diversity(self):
+        narrow = make_system_model(n=4, alpha_spread=0.05)
+        wide = make_system_model(n=4, alpha_spread=0.4)
+
+        def alpha_range(model):
+            alphas = [node.alpha for node in model.nodes]
+            return max(alphas) - min(alphas)
+
+        assert alpha_range(wide) > alpha_range(narrow)
+
+    def test_single_machine_degenerate(self):
+        model = make_system_model(n=1)
+        assert model.nodes[0].alpha == pytest.approx(0.95)
+
+    def test_usable_by_optimizer(self):
+        from repro.core.optimizer import JointOptimizer
+
+        model = make_system_model(n=5)
+        result = JointOptimizer(model).solve(0.5 * model.total_capacity)
+        assert result.loads.sum() == pytest.approx(
+            0.5 * model.total_capacity
+        )

@@ -1,0 +1,139 @@
+"""Tests for the simulated testbed facility (rack + experiment runner)."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import scenario_by_number
+from repro.errors import ConfigurationError
+from repro.testbed.rack import TestbedConfig, build_testbed
+from repro.workload.cluster import ServerState
+
+
+class TestRackConstruction:
+    def test_default_is_twenty_machines(self, testbed):
+        assert testbed.n_machines == 20
+        assert testbed.total_capacity == pytest.approx(800.0)
+
+    def test_build_is_reproducible(self):
+        a = build_testbed(seed=7)
+        b = build_testbed(seed=7)
+        for na, nb in zip(a.room.nodes, b.room.nodes):
+            assert na.flow == pytest.approx(nb.flow)
+            assert na.supply_fraction == pytest.approx(nb.supply_fraction)
+
+    def test_different_seeds_differ(self):
+        a = build_testbed(seed=1)
+        b = build_testbed(seed=2)
+        assert any(
+            na.flow != nb.flow
+            for na, nb in zip(a.room.nodes, b.room.nodes)
+        )
+
+    def test_bottom_of_rack_breathes_more_supply_air(self, testbed):
+        fractions = [n.supply_fraction for n in testbed.room.nodes]
+        assert fractions[0] > fractions[-1]
+
+    def test_bottom_of_rack_sees_stronger_flow(self, testbed):
+        flows = [n.flow for n in testbed.room.nodes]
+        assert np.mean(flows[:5]) > np.mean(flows[-5:])
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TestbedConfig(n_machines=0)
+        with pytest.raises(ConfigurationError):
+            TestbedConfig(supply_fraction_top=0.99, supply_fraction_bottom=0.5)
+        with pytest.raises(ConfigurationError):
+            TestbedConfig(n_machines=200)  # oversubscribes cooler flow
+
+
+class TestEvaluation:
+    def test_record_accounts_power_components(self, context):
+        decision = scenario_by_number(8).decide(
+            context.model,
+            0.5 * context.testbed.total_capacity,
+            optimizer=context.optimizer,
+        )
+        record = context.testbed.evaluate(decision)
+        assert record.total_power == pytest.approx(
+            record.server_power + record.cooling_power
+        )
+
+    def test_true_server_powers_zero_when_off(self, context):
+        decision = scenario_by_number(8).decide(
+            context.model,
+            0.2 * context.testbed.total_capacity,
+            optimizer=context.optimizer,
+        )
+        powers = context.testbed.true_server_powers(
+            decision.loads, decision.on_ids
+        )
+        off = set(range(20)) - set(decision.on_ids)
+        assert all(powers[i] == 0.0 for i in off)
+
+    def test_evaluation_is_deterministic(self, context):
+        decision = scenario_by_number(4).decide(context.model, 300.0)
+        a = context.testbed.evaluate(decision)
+        b = context.testbed.evaluate(decision)
+        assert a.total_power == pytest.approx(b.total_power)
+
+    def test_regulated_flag_set_in_normal_operation(self, context):
+        decision = scenario_by_number(1).decide(context.model, 200.0)
+        record = context.testbed.evaluate(decision)
+        assert record.regulated
+
+    def test_summary_mentions_violation(self, context):
+        decision = scenario_by_number(1).decide(context.model, 200.0)
+        record = context.testbed.evaluate(decision)
+        assert "load=" in record.summary()
+        assert "VIOLATION" not in record.summary()
+
+
+class TestWorkloadRun:
+    def test_throughput_constraint_met(self, context):
+        # The paper: "application throughput was not affected by the
+        # energy saving scheme".
+        decision = scenario_by_number(8).decide(
+            context.model,
+            0.3 * context.testbed.total_capacity,
+            optimizer=context.optimizer,
+        )
+        result = context.testbed.run_workload(
+            decision, duration=420.0, warmup=120.0,
+            deterministic_arrivals=True,
+        )
+        assert result.throughput_ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_only_powered_machines_work(self, context):
+        decision = scenario_by_number(8).decide(
+            context.model,
+            0.3 * context.testbed.total_capacity,
+            optimizer=context.optimizer,
+        )
+        result = context.testbed.run_workload(
+            decision, duration=300.0, warmup=100.0,
+            deterministic_arrivals=True,
+        )
+        off = sorted(set(range(20)) - set(decision.on_ids))
+        assert np.allclose(result.utilizations[off], 0.0)
+
+    def test_workload_temperature_stays_bounded(self, context):
+        decision = scenario_by_number(8).decide(
+            context.model,
+            0.5 * context.testbed.total_capacity,
+            optimizer=context.optimizer,
+        )
+        result = context.testbed.run_workload(
+            decision, duration=420.0, warmup=60.0,
+            deterministic_arrivals=True,
+        )
+        assert result.max_t_cpu <= context.testbed.config.t_max + 1.0
+
+    def test_rejects_warmup_longer_than_duration(self, context):
+        decision = scenario_by_number(1).decide(context.model, 100.0)
+        with pytest.raises(ConfigurationError):
+            context.testbed.run_workload(decision, duration=10.0, warmup=20.0)
+
+    def test_cluster_built_from_rack(self, testbed):
+        cluster = testbed.build_cluster()
+        assert len(cluster) == testbed.n_machines
+        assert all(s.state is ServerState.ON for s in cluster.servers)

@@ -1,0 +1,96 @@
+"""Tests for the text-processing application (the paper's workload)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.textproc import (
+    WORDS_PER_WORK_UNIT,
+    HtmlDocument,
+    document_work_units,
+    extract_text,
+    generate_html_document,
+    process_document,
+    word_histogram,
+)
+
+
+class TestGeneration:
+    def test_word_count_recorded(self, rng):
+        doc = generate_html_document(rng, doc_id=3)
+        assert doc.doc_id == 3
+        assert doc.word_count >= 1
+
+    def test_mean_size_near_target(self, rng):
+        counts = [
+            generate_html_document(rng, i, mean_words=400).word_count
+            for i in range(300)
+        ]
+        assert np.mean(counts) == pytest.approx(400, rel=0.2)
+
+    def test_contains_script_noise(self, rng):
+        doc = generate_html_document(rng)
+        assert "<script>" in doc.html
+
+    def test_rejects_bad_mean(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_html_document(rng, mean_words=0)
+
+
+class TestExtraction:
+    def test_strips_tags(self):
+        assert extract_text("<p>hello <b>world</b></p>") == "hello world"
+
+    def test_drops_script_and_style(self):
+        html = "<script>var secret = 1;</script><p>visible</p><style>p{}</style>"
+        text = extract_text(html)
+        assert "secret" not in text
+        assert "visible" in text
+
+    def test_survives_unclosed_script(self):
+        assert extract_text("<p>ok</p><script>dangling") == "ok"
+
+    def test_survives_unclosed_tag(self):
+        assert "text" in extract_text("<p>text<div")
+
+    def test_decodes_entities(self):
+        assert extract_text("a &amp; b &lt;c&gt;") == "a & b <c>"
+
+    def test_collapses_whitespace(self):
+        assert extract_text("<p>a</p>\n\n <p>b</p>") == "a b"
+
+
+class TestHistogram:
+    def test_counts_words(self):
+        hist = word_histogram("the data the center")
+        assert hist["the"] == 2
+        assert hist["data"] == 1
+
+    def test_case_insensitive(self):
+        assert word_histogram("Data DATA data")["data"] == 3
+
+    def test_ignores_punctuation(self):
+        hist = word_histogram("load, load; load!")
+        assert hist["load"] == 3
+
+    def test_full_pipeline_counts_body_words(self, rng):
+        doc = generate_html_document(rng, mean_words=200)
+        hist = process_document(doc)
+        # Every generated body word is in the vocabulary; histogram total
+        # equals the body count plus the heading words.
+        assert sum(hist.values()) >= doc.word_count
+
+
+class TestWorkUnits:
+    def test_average_document_is_one_unit(self):
+        doc = HtmlDocument(
+            doc_id=0, html="", word_count=WORDS_PER_WORK_UNIT
+        )
+        assert document_work_units(doc) == pytest.approx(1.0)
+
+    def test_work_scales_with_size(self, rng):
+        small = HtmlDocument(0, "", word_count=100)
+        large = HtmlDocument(1, "", word_count=800)
+        assert document_work_units(large) == pytest.approx(
+            8.0 * document_work_units(small)
+        )

@@ -1,0 +1,129 @@
+"""Tests for the cooling-unit emulation (Section II-B substrate)."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.thermal.cooling import CoolingUnit
+
+
+def make_unit(**overrides) -> CoolingUnit:
+    params = dict(
+        supply_flow=1.4,
+        efficiency=0.25,
+        q_max=12000.0,
+        t_ac_min=283.15,
+        set_point=297.15,
+        fan_power=3000.0,
+    )
+    params.update(overrides)
+    return CoolingUnit(**params)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(supply_flow=0.0),
+            dict(efficiency=0.0),
+            dict(efficiency=1.5),
+            dict(q_max=-1.0),
+            dict(fan_power=-5.0),
+            dict(kp=0.0),
+        ],
+    )
+    def test_rejects_invalid(self, overrides):
+        with pytest.raises(ConfigurationError):
+            make_unit(**overrides)
+
+    def test_lumped_constant_is_c_air_over_eta(self):
+        unit = make_unit(efficiency=0.25)
+        assert unit.c == pytest.approx(units.C_AIR / 0.25)
+
+
+class TestControlLoop:
+    def test_no_cooling_when_return_below_set_point(self):
+        unit = make_unit()
+        t_ac, p_ac = unit.step(t_return=295.0, dt=1.0)
+        assert unit.q_cool == pytest.approx(0.0)
+        assert t_ac == pytest.approx(295.0)
+        assert p_ac == pytest.approx(unit.fan_power)
+
+    def test_cooling_engages_above_set_point(self):
+        unit = make_unit()
+        t_ac, p_ac = unit.step(t_return=300.0, dt=1.0)
+        assert unit.q_cool > 0.0
+        assert t_ac < 300.0
+        assert p_ac > unit.fan_power
+
+    def test_capacity_limit_respected(self):
+        unit = make_unit(q_max=500.0)
+        unit.step(t_return=320.0, dt=10.0)
+        assert unit.q_cool <= 500.0 + 1e-9
+
+    def test_supply_never_below_coil_limit(self):
+        unit = make_unit(kp=1e6)
+        t_ac, _ = unit.step(t_return=290.0, dt=10.0)
+        assert t_ac >= unit.t_ac_min - 1e-9
+
+    def test_integral_action_removes_offset(self):
+        # Drive a constant disturbance: return temp equals set point +
+        # q/(f c) for whatever q the controller commands; at convergence
+        # the loop should hold q near the disturbance level.
+        unit = make_unit()
+        q_true = 4000.0  # watts the room keeps injecting
+        t_return = unit.set_point + 1.0
+        for _ in range(5000):
+            unit.step(t_return, dt=0.5)
+            # Simple first-order room response toward the balance point.
+            error = (q_true - unit.q_cool) / 5000.0
+            t_return += error
+        assert unit.q_cool == pytest.approx(q_true, rel=0.02)
+
+    def test_reset_clears_state(self):
+        unit = make_unit()
+        unit.step(305.0, dt=1.0)
+        assert unit.q_cool > 0.0
+        unit.reset()
+        assert unit.q_cool == pytest.approx(0.0)
+
+    def test_rejects_non_positive_dt(self):
+        with pytest.raises(ConfigurationError):
+            make_unit().step(300.0, dt=0.0)
+
+
+class TestSteadyStateModel:
+    def test_power_is_load_over_eta_plus_fan(self):
+        unit = make_unit()
+        assert unit.steady_state_power(2500.0) == pytest.approx(
+            2500.0 / 0.25 + 3000.0
+        )
+
+    def test_negative_load_costs_only_fan(self):
+        unit = make_unit()
+        assert unit.steady_state_power(-10.0) == pytest.approx(3000.0)
+
+    def test_load_capped_at_q_max(self):
+        unit = make_unit()
+        assert unit.steady_state_power(1e6) == pytest.approx(
+            12000.0 / 0.25 + 3000.0
+        )
+
+    def test_supply_temperature_enthalpy_balance(self):
+        # T_ac = T_return - q/(f_ac c_air): the relation that makes the
+        # paper's Eq. 10 exact at steady state.
+        unit = make_unit()
+        t_ac = unit.steady_supply_temperature(3000.0, t_return=298.0)
+        assert t_ac == pytest.approx(298.0 - 3000.0 / (1.4 * units.C_AIR))
+
+    def test_paper_equation_ten_consistency(self):
+        # P_ac == c * f_ac * (T_SP - T_ac) with c = c_air/eta, up to the
+        # constant blower term.
+        unit = make_unit()
+        q = 2800.0
+        t_sp = unit.set_point
+        t_ac = unit.steady_supply_temperature(q, t_return=t_sp)
+        predicted = unit.c * unit.supply_flow * (t_sp - t_ac)
+        assert predicted == pytest.approx(
+            unit.steady_state_power(q) - unit.fan_power
+        )

@@ -1,0 +1,123 @@
+"""Tests for the per-computing-unit thermal model (Eqs. 1-6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.thermal.node import ComputeNodeThermal, NodeThermalState
+
+
+@pytest.fixture
+def node() -> ComputeNodeThermal:
+    return ComputeNodeThermal(
+        nu_cpu=600.0, nu_box=150.0, theta=2.26, flow=0.03,
+        supply_fraction=0.8,
+    )
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(nu_cpu=0.0),
+            dict(nu_box=-1.0),
+            dict(theta=0.0),
+            dict(flow=0.0),
+            dict(supply_fraction=0.0),
+            dict(supply_fraction=1.5),
+        ],
+    )
+    def test_rejects_invalid_parameters(self, kwargs):
+        base = dict(
+            nu_cpu=600.0, nu_box=150.0, theta=2.26, flow=0.03,
+            supply_fraction=0.8,
+        )
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            ComputeNodeThermal(**base)
+
+
+class TestBeta:
+    def test_beta_formula(self, node):
+        # Eq. 6: beta = 1/(F c_air) + 1/theta.
+        expected = 1.0 / (0.03 * units.C_AIR) + 1.0 / 2.26
+        assert node.beta == pytest.approx(expected)
+
+    def test_beta_decreases_with_flow(self):
+        slow = ComputeNodeThermal(600.0, 150.0, 2.26, 0.02, 0.8)
+        fast = ComputeNodeThermal(600.0, 150.0, 2.26, 0.05, 0.8)
+        assert fast.beta < slow.beta
+
+    def test_beta_decreases_with_theta(self):
+        weak = ComputeNodeThermal(600.0, 150.0, 1.5, 0.03, 0.8)
+        strong = ComputeNodeThermal(600.0, 150.0, 4.0, 0.03, 0.8)
+        assert strong.beta < weak.beta
+
+
+class TestSteadyState:
+    def test_zero_power_equilibrates_to_inlet(self, node):
+        state = node.steady_state(power=0.0, t_in=295.0)
+        assert state.t_cpu == pytest.approx(295.0)
+        assert state.t_box == pytest.approx(295.0)
+
+    def test_cpu_above_box_above_inlet(self, node):
+        state = node.steady_state(power=95.0, t_in=295.0)
+        assert state.t_cpu > state.t_box > 295.0
+
+    def test_matches_equation_five(self, node):
+        # Eq. 5: T_cpu = beta * P + T_in.
+        state = node.steady_state(power=80.0, t_in=294.0)
+        assert state.t_cpu == pytest.approx(294.0 + node.beta * 80.0)
+
+    @given(st.floats(0.0, 150.0), st.floats(280.0, 310.0))
+    def test_steady_state_zeroes_derivatives(self, power, t_in):
+        node = ComputeNodeThermal(600.0, 150.0, 2.26, 0.03, 0.8)
+        state = node.steady_state(power, t_in)
+        d_cpu, d_box = node.derivatives(state, power, t_in)
+        assert abs(d_cpu) < 1e-9
+        assert abs(d_box) < 1e-9
+
+    @given(st.floats(1.0, 150.0))
+    def test_rise_is_linear_in_power(self, power):
+        node = ComputeNodeThermal(600.0, 150.0, 2.26, 0.03, 0.8)
+        rise = node.steady_state(power, 295.0).t_cpu - 295.0
+        assert rise == pytest.approx(node.beta * power, rel=1e-9)
+
+
+class TestDynamics:
+    def test_hot_cpu_cools_toward_box(self, node):
+        state = NodeThermalState(t_cpu=350.0, t_box=300.0)
+        d_cpu, d_box = node.derivatives(state, power=0.0, t_in=300.0)
+        assert d_cpu < 0.0
+        assert d_box > 0.0  # box receives the CPU's heat
+
+    def test_power_heats_cpu(self, node):
+        state = NodeThermalState(t_cpu=300.0, t_box=300.0)
+        d_cpu, _ = node.derivatives(state, power=95.0, t_in=300.0)
+        assert d_cpu > 0.0
+
+    def test_time_constant_near_paper_value(self, node):
+        # The paper observes ~200 s to a stable CPU temperature.
+        assert 100.0 < node.time_constant() < 400.0
+
+    def test_euler_integration_converges_to_steady_state(self, node):
+        state = NodeThermalState(t_cpu=295.0, t_box=295.0)
+        dt = 0.2
+        for _ in range(40000):
+            d_cpu, d_box = node.derivatives(state, power=95.0, t_in=295.0)
+            state.t_cpu += dt * d_cpu
+            state.t_box += dt * d_box
+        target = node.steady_state(95.0, 295.0)
+        assert state.t_cpu == pytest.approx(target.t_cpu, abs=1e-3)
+        assert state.t_box == pytest.approx(target.t_box, abs=1e-3)
+
+
+class TestState:
+    def test_copy_is_independent(self):
+        state = NodeThermalState(t_cpu=300.0, t_box=299.0)
+        clone = state.copy()
+        clone.t_cpu = 350.0
+        assert state.t_cpu == pytest.approx(300.0)

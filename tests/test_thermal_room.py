@@ -1,0 +1,124 @@
+"""Tests for the machine-room air model (the substrate behind Eq. 7)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.thermal.node import ComputeNodeThermal
+from repro.thermal.room import MachineRoom
+
+
+def make_room(n=4, supply_flow=1.4, envelope=75.0):
+    nodes = tuple(
+        ComputeNodeThermal(
+            nu_cpu=600.0,
+            nu_box=150.0,
+            theta=2.26,
+            flow=0.03,
+            supply_fraction=0.95 - 0.1 * i,
+        )
+        for i in range(n)
+    )
+    return MachineRoom(
+        nodes=nodes,
+        nu_room=50.0 * units.C_AIR,
+        envelope_conductance=envelope,
+        t_env=305.15,
+        supply_flow=supply_flow,
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_room(self):
+        with pytest.raises(ConfigurationError):
+            MachineRoom(
+                nodes=(),
+                nu_room=1000.0,
+                envelope_conductance=75.0,
+                t_env=305.0,
+                supply_flow=1.4,
+            )
+
+    def test_rejects_oversubscribed_supply(self):
+        with pytest.raises(ConfigurationError):
+            make_room(n=4, supply_flow=0.05)
+
+    def test_rejects_negative_envelope(self):
+        with pytest.raises(ConfigurationError):
+            make_room(envelope=-1.0)
+
+
+class TestInletMixing:
+    def test_inlet_is_affine_blend(self):
+        room = make_room()
+        t = room.inlet_temperature(0, t_ac=290.0, t_room=300.0)
+        m = room.nodes[0].supply_fraction
+        assert t == pytest.approx(m * 290.0 + (1 - m) * 300.0)
+
+    def test_bottom_machine_is_coolest(self):
+        # Index 0 (bottom of rack) draws the most supply air.
+        room = make_room()
+        temps = room.inlet_temperatures(t_ac=290.0, t_room=300.0)
+        assert list(temps) == sorted(temps)
+
+    def test_uniform_temperatures_blend_to_same(self):
+        room = make_room()
+        temps = room.inlet_temperatures(t_ac=296.0, t_room=296.0)
+        assert np.allclose(temps, 296.0)
+
+    def test_ground_truth_alpha_gamma_reconstructs_inlet(self):
+        room = make_room()
+        alpha, gamma = room.ground_truth_alpha_gamma(t_room=299.0)
+        direct = room.inlet_temperatures(t_ac=292.0, t_room=299.0)
+        assert np.allclose(alpha * 292.0 + gamma, direct)
+
+
+class TestFlows:
+    def test_bypass_decreases_when_machines_run(self):
+        room = make_room()
+        all_on = room.bypass_flow([True] * 4)
+        all_off = room.bypass_flow([False] * 4)
+        assert all_on < all_off == pytest.approx(room.supply_flow)
+
+    def test_bypass_never_negative_by_construction(self):
+        room = make_room()
+        assert room.bypass_flow([True] * 4) >= 0.0
+
+
+class TestRoomEnergyBalance:
+    def test_steady_heat_load_includes_envelope(self):
+        room = make_room()
+        q = room.steady_heat_load(total_server_power=1000.0, t_room=298.0)
+        assert q == pytest.approx(1000.0 + 75.0 * (305.15 - 298.0))
+
+    def test_warmer_room_reduces_heat_load(self):
+        # The physical basis of the paper's AC knob: running warmer means
+        # less envelope gain to reject.
+        room = make_room()
+        cold = room.steady_heat_load(1000.0, t_room=294.0)
+        warm = room.steady_heat_load(1000.0, t_room=300.0)
+        assert warm < cold
+
+    def test_room_derivative_sign(self):
+        # A room hotter than everything around it must cool down.
+        room = make_room()
+        d = room.room_derivative(
+            t_room=320.0,
+            t_ac=290.0,
+            box_temps=[300.0] * 4,
+            on_mask=[True] * 4,
+        )
+        assert d < 0.0
+
+    def test_room_derivative_zero_at_equilibrium(self):
+        # If boxes, bypass and envelope are all at room temperature,
+        # nothing moves.
+        room = make_room(envelope=0.0)
+        d = room.room_derivative(
+            t_room=298.0,
+            t_ac=298.0,
+            box_temps=[298.0] * 4,
+            on_mask=[True] * 4,
+        )
+        assert d == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,90 @@
+"""Tests for the time-varying load traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.traces import (
+    constant_trace,
+    diurnal_trace,
+    ramp_trace,
+    step_trace,
+)
+
+
+class TestConstant:
+    def test_value_everywhere(self):
+        trace = constant_trace(120.0, duration=3600.0)
+        assert trace.load_at(0.0) == pytest.approx(120.0)
+        assert trace.load_at(1800.0) == pytest.approx(120.0)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ConfigurationError):
+            constant_trace(-1.0, 10.0)
+
+
+class TestStep:
+    def test_levels_and_dwell(self):
+        trace = step_trace([10.0, 20.0, 5.0], dwell=100.0)
+        assert trace.duration == pytest.approx(300.0)
+        assert trace.load_at(50.0) == pytest.approx(10.0)
+        assert trace.load_at(150.0) == pytest.approx(20.0)
+        assert trace.load_at(250.0) == pytest.approx(5.0)
+
+    def test_end_clamps_to_last_level(self):
+        trace = step_trace([10.0, 20.0], dwell=100.0)
+        assert trace.load_at(1e9) == pytest.approx(20.0)
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ConfigurationError):
+            step_trace([], dwell=10.0)
+
+
+class TestDiurnal:
+    def test_peak_at_peak_time(self):
+        trace = diurnal_trace(base=100.0, peak=500.0)
+        assert trace.load_at(14.0 * 3600.0) == pytest.approx(500.0)
+
+    def test_trough_twelve_hours_later(self):
+        trace = diurnal_trace(base=100.0, peak=500.0)
+        assert trace.load_at(2.0 * 3600.0) == pytest.approx(100.0)
+
+    def test_bounded_between_base_and_peak(self):
+        trace = diurnal_trace(base=100.0, peak=500.0)
+        samples = trace.sample(dt=600.0)
+        assert samples.min() >= 100.0 - 1e-9
+        assert samples.max() <= 500.0 + 1e-9
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_trace(base=1.0, peak=2.0, noise_std=0.1)
+
+    def test_noise_never_negative(self, rng):
+        trace = diurnal_trace(
+            base=0.0, peak=1.0, noise_std=5.0, rng=rng
+        )
+        assert trace.sample(dt=3600.0).min() >= 0.0
+
+    def test_rejects_base_above_peak(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_trace(base=10.0, peak=5.0)
+
+    def test_peak_helper(self):
+        trace = diurnal_trace(base=100.0, peak=500.0)
+        assert trace.peak(dt=60.0) == pytest.approx(500.0, rel=1e-3)
+
+
+class TestRamp:
+    def test_endpoints(self):
+        trace = ramp_trace(0.0, 100.0, duration=1000.0)
+        assert trace.load_at(0.0) == pytest.approx(0.0)
+        assert trace.load_at(1000.0) == pytest.approx(100.0)
+        assert trace.load_at(500.0) == pytest.approx(50.0)
+
+    def test_sampling_shape(self):
+        trace = ramp_trace(0.0, 10.0, duration=100.0)
+        assert trace.sample(dt=10.0).shape == (11,)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ConfigurationError):
+            ramp_trace(0.0, 1.0, 10.0).sample(0.0)

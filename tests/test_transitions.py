@@ -1,0 +1,63 @@
+"""Tests for reconfiguration-transition measurements."""
+
+import pytest
+
+from repro.core.policies import scenario_by_number
+from repro.errors import ConfigurationError
+from repro.testbed.transitions import measure_transition
+
+
+@pytest.fixture(scope="module")
+def decisions(context):
+    model, optimizer = context.model, context.optimizer
+    capacity = context.testbed.total_capacity
+    low = scenario_by_number(8).decide(
+        model, 0.2 * capacity, optimizer=optimizer
+    )
+    high = scenario_by_number(8).decide(
+        model, 0.6 * capacity, optimizer=optimizer
+    )
+    return low, high
+
+
+class TestTransitions:
+    def test_scale_up_stays_under_t_max(self, context, decisions):
+        low, high = decisions
+        result = measure_transition(context.testbed, low, high)
+        assert not result.t_max_crossed
+        assert result.settle_time > 0.0
+
+    def test_scale_down_costs_bounded_excess(self, context, decisions):
+        low, high = decisions
+        result = measure_transition(context.testbed, high, low)
+        # Spinning down wastes some energy while the room re-settles, but
+        # it must be a modest fraction of the destination steady state.
+        assert result.excess_energy_joules > 0.0
+        assert result.excess_fraction < 0.25
+        assert not result.t_max_crossed
+
+    def test_energy_accounting_consistent(self, context, decisions):
+        low, high = decisions
+        result = measure_transition(context.testbed, low, high)
+        assert result.excess_energy_joules == pytest.approx(
+            result.transition_energy_joules - result.steady_energy_joules
+        )
+
+    def test_identity_transition_is_cheap(self, context, decisions):
+        low, _ = decisions
+        result = measure_transition(context.testbed, low, low)
+        assert abs(result.excess_fraction) < 0.02
+        assert not result.t_max_crossed
+
+    def test_settling_dominated_by_thermal_constant(self, context, decisions):
+        # The dwell guard in the controller assumes transitions settle on
+        # the scale of the room's thermal time constants (minutes, not
+        # hours).
+        low, high = decisions
+        result = measure_transition(context.testbed, low, high)
+        assert result.settle_time < 3600.0
+
+    def test_rejects_bad_dt(self, context, decisions):
+        low, high = decisions
+        with pytest.raises(ConfigurationError):
+            measure_transition(context.testbed, low, high, dt=0.0)

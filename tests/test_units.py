@@ -1,0 +1,86 @@
+"""Tests for repro.units — Table I unit conventions and conversions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestTemperatureConversion:
+    def test_celsius_to_kelvin_zero(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_kelvin_to_celsius_zero(self):
+        assert units.kelvin_to_celsius(273.15) == pytest.approx(0.0)
+
+    def test_cpu_limit_example(self):
+        # The testbed's 70 C CPU limit is 343.15 K.
+        assert units.celsius_to_kelvin(70.0) == pytest.approx(343.15)
+
+    @given(st.floats(-200.0, 500.0))
+    def test_round_trip(self, celsius):
+        back = units.kelvin_to_celsius(units.celsius_to_kelvin(celsius))
+        assert back == pytest.approx(celsius, abs=1e-9)
+
+    @given(st.floats(-100.0, 100.0), st.floats(-100.0, 100.0))
+    def test_conversion_preserves_differences(self, a, b):
+        # Kelvin and Celsius differ by an offset only, so temperature
+        # *differences* (what heat flows depend on) are identical.
+        dk = units.celsius_to_kelvin(a) - units.celsius_to_kelvin(b)
+        assert dk == pytest.approx(a - b, abs=1e-9)
+
+
+class TestFlowConversion:
+    def test_cfm_round_trip(self):
+        assert units.m3s_to_cfm(units.cfm_to_m3s(3000.0)) == pytest.approx(
+            3000.0
+        )
+
+    def test_liebert_class_flow(self):
+        # ~3000 CFM is ~1.4 m^3/s, the testbed's cooler flow.
+        assert units.cfm_to_m3s(3000.0) == pytest.approx(1.416, abs=0.01)
+
+    def test_cfm_positive_scaling(self):
+        assert units.cfm_to_m3s(200.0) == pytest.approx(
+            2.0 * units.cfm_to_m3s(100.0)
+        )
+
+
+class TestEnergy:
+    def test_watt_hours_of_one_hour(self):
+        assert units.watt_hours(100.0, 3600.0) == pytest.approx(100.0)
+
+    def test_joules(self):
+        assert units.joules(50.0, 2.0) == pytest.approx(100.0)
+
+    def test_joules_vs_watt_hours(self):
+        # 1 Wh == 3600 J.
+        assert units.joules(75.0, 3600.0) == pytest.approx(
+            3600.0 * units.watt_hours(75.0, 3600.0)
+        )
+
+
+class TestPhysicalValidity:
+    def test_room_temperature_valid(self):
+        assert units.is_valid_temperature(295.0)
+
+    def test_absolute_zero_invalid(self):
+        assert not units.is_valid_temperature(0.0)
+
+    def test_nan_invalid(self):
+        assert not units.is_valid_temperature(math.nan)
+
+    def test_inf_invalid(self):
+        assert not units.is_valid_temperature(math.inf)
+
+    def test_above_ceiling_invalid(self):
+        assert not units.is_valid_temperature(
+            units.MAX_PHYSICAL_TEMPERATURE + 1.0
+        )
+
+    def test_air_heat_capacity_magnitude(self):
+        # Volumetric heat capacity of air: ~1.2 kJ/(K m^3) (Table I units).
+        assert 1000.0 < units.C_AIR < 1400.0

@@ -1,0 +1,69 @@
+"""Tests for the controller's thermal watchdog."""
+
+import pytest
+
+from repro.core.controller import RuntimeController
+from repro.core.optimizer import JointOptimizer
+from repro.errors import ConfigurationError
+from repro.testbed.synthetic import make_system_model
+
+
+@pytest.fixture
+def controller() -> RuntimeController:
+    controller = RuntimeController(
+        JointOptimizer(make_system_model(n=10)), min_dwell=3600.0
+    )
+    controller.observe(0.0, 200.0)
+    return controller
+
+
+class TestThermalWatchdog:
+    def test_safe_reading_is_ignored(self, controller):
+        t_max = 343.15
+        assert (
+            controller.observe_temperature(10.0, 335.0, t_max) is None
+        )
+        assert controller.reconfigurations == 1
+
+    def test_hot_reading_triggers_emergency_replan(self, controller):
+        t_max = 343.15
+        result = controller.observe_temperature(10.0, 342.8, t_max)
+        assert result is not None
+        assert "thermal watchdog" in controller.events[-1].reason
+        # The new plan runs cooler: the model belief was derated, so the
+        # predicted hottest CPU sits below the old belief.
+        assert controller.optimizer.model.t_max < make_system_model().t_max
+
+    def test_emergency_bypasses_dwell(self, controller):
+        # min_dwell is 3600 s; the watchdog fires at t=1 anyway.
+        result = controller.observe_temperature(1.0, 342.9, 343.15)
+        assert result is not None
+
+    def test_derating_accumulates_until_safe(self, controller):
+        t_max = 343.15
+        first = controller.observe_temperature(10.0, 342.9, t_max)
+        belief_1 = controller.optimizer.model.t_max
+        second = controller.observe_temperature(20.0, 342.9, t_max)
+        belief_2 = controller.optimizer.model.t_max
+        assert first is not None and second is not None
+        assert belief_2 < belief_1
+
+    def test_plan_still_serves_the_load(self, controller):
+        result = controller.observe_temperature(10.0, 342.8, 343.15)
+        assert result.loads.sum() == pytest.approx(
+            controller.events[0].planned_load
+        )
+
+    def test_no_plan_no_action(self):
+        fresh = RuntimeController(JointOptimizer(make_system_model(n=4)))
+        assert fresh.observe_temperature(0.0, 342.9, 343.15) is None
+
+    def test_rejects_negative_margin(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.observe_temperature(0.0, 340.0, 343.15, margin=-1.0)
+
+    def test_derated_optimizer_used_for_later_observations(self, controller):
+        controller.observe_temperature(10.0, 342.8, 343.15)
+        derated = controller.optimizer
+        controller.observe(8000.0, 300.0)  # ordinary replan, after dwell
+        assert controller.optimizer is derated

@@ -1,0 +1,148 @@
+"""Tests for the allocation container and the weighted dispatcher."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.server import ServerPowerModel
+from repro.workload.balancer import Allocation, LoadBalancer
+from repro.workload.cluster import Cluster, Server
+from repro.workload.tasks import Task
+
+
+def make_cluster(n=4) -> Cluster:
+    return Cluster(
+        [
+            Server(i, ServerPowerModel(w1=1.4, w2=38.0, capacity=40.0))
+            for i in range(n)
+        ]
+    )
+
+
+def tasks(count):
+    return [Task(task_id=i, work=1.0, created_at=0.0) for i in range(count)]
+
+
+class TestAllocation:
+    def test_build_from_mapping(self):
+        alloc = Allocation.build({0: 10.0, 2: 5.0}, n_servers=4)
+        assert alloc.rates == (10.0, 0.0, 5.0, 0.0)
+        assert alloc.on_ids == (0, 2)
+
+    def test_build_from_sequence(self):
+        alloc = Allocation.build([1.0, 2.0, 0.0], n_servers=3)
+        assert alloc.on_ids == (0, 1)
+
+    def test_explicit_on_ids_keep_idle_machines(self):
+        alloc = Allocation.build(
+            {0: 10.0}, n_servers=3, on_ids=[0, 1, 2]
+        )
+        assert alloc.on_ids == (0, 1, 2)
+
+    def test_rejects_load_on_off_machine(self):
+        with pytest.raises(ConfigurationError):
+            Allocation.build({0: 10.0, 1: 5.0}, n_servers=3, on_ids=[0])
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            Allocation.build([-1.0, 2.0], n_servers=2)
+
+    def test_rejects_out_of_range_id(self):
+        with pytest.raises(ConfigurationError):
+            Allocation.build({5: 1.0}, n_servers=3)
+
+    def test_rejects_wrong_length_sequence(self):
+        with pytest.raises(ConfigurationError):
+            Allocation.build([1.0, 2.0], n_servers=3)
+
+    def test_total_rate(self):
+        alloc = Allocation.build([1.0, 2.0, 3.0], n_servers=3)
+        assert alloc.total_rate == pytest.approx(6.0)
+
+    def test_utilizations(self):
+        alloc = Allocation.build([10.0, 20.0], n_servers=2)
+        utils = alloc.utilizations([40.0, 40.0])
+        assert np.allclose(utils, [0.25, 0.5])
+
+
+class TestLoadBalancer:
+    def test_dispatch_requires_allocation(self):
+        balancer = LoadBalancer(make_cluster())
+        with pytest.raises(ConfigurationError):
+            balancer.dispatch(tasks(1)[0])
+
+    def test_long_run_split_matches_weights(self):
+        cluster = make_cluster(3)
+        balancer = LoadBalancer(cluster)
+        balancer.set_allocation(
+            Allocation.build([10.0, 20.0, 10.0], n_servers=3)
+        )
+        balancer.dispatch_all(tasks(400))
+        fractions = balancer.dispatch_fractions()
+        assert np.allclose(fractions, [0.25, 0.5, 0.25], atol=0.01)
+
+    def test_zero_weight_machine_never_dispatched(self):
+        cluster = make_cluster(3)
+        balancer = LoadBalancer(cluster)
+        balancer.set_allocation(
+            Allocation.build(
+                [10.0, 0.0, 10.0], n_servers=3, on_ids=[0, 1, 2]
+            )
+        )
+        balancer.dispatch_all(tasks(100))
+        assert balancer.dispatched[1] == 0
+
+    def test_smooth_interleaving(self):
+        # Smooth WRR should not send long bursts to one server for equal
+        # weights: two equal servers must alternate.
+        cluster = make_cluster(2)
+        balancer = LoadBalancer(cluster)
+        balancer.set_allocation(Allocation.build([5.0, 5.0], n_servers=2))
+        targets = [balancer.dispatch(t) for t in tasks(10)]
+        assert targets == [0, 1] * 5 or targets == [1, 0] * 5
+
+    def test_set_allocation_powers_machines(self):
+        cluster = make_cluster(4)
+        balancer = LoadBalancer(cluster)
+        balancer.set_allocation(
+            Allocation.build({1: 10.0, 3: 10.0}, n_servers=4)
+        )
+        assert cluster.on_mask() == [False, True, False, True]
+
+    def test_reallocation_redispatches_orphans(self):
+        cluster = make_cluster(2)
+        balancer = LoadBalancer(cluster)
+        balancer.set_allocation(
+            Allocation.build({1: 10.0}, n_servers=2)
+        )
+        balancer.dispatch_all(tasks(5))
+        assert cluster[1].queue_length == 5
+        balancer.set_allocation(
+            Allocation.build({0: 10.0}, n_servers=2)
+        )
+        assert cluster[0].queue_length == 5
+        assert cluster[1].queue_length == 0
+
+    def test_rejects_size_mismatch(self):
+        balancer = LoadBalancer(make_cluster(2))
+        with pytest.raises(ConfigurationError):
+            balancer.set_allocation(Allocation.build([1.0] * 3, n_servers=3))
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.floats(0.5, 20.0), min_size=2, max_size=6
+        )
+    )
+    def test_split_converges_for_any_weights(self, weights):
+        n = len(weights)
+        cluster = make_cluster(n)
+        balancer = LoadBalancer(cluster)
+        balancer.set_allocation(Allocation.build(weights, n_servers=n))
+        balancer.dispatch_all(tasks(600))
+        expected = np.asarray(weights) / sum(weights)
+        assert np.allclose(
+            balancer.dispatch_fractions(), expected, atol=0.02
+        )

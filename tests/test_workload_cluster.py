@@ -1,0 +1,160 @@
+"""Tests for the server/cluster lifecycle substrate."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.server import ServerPowerModel
+from repro.workload.cluster import Cluster, Server, ServerState
+from repro.workload.tasks import Task
+
+
+def make_server(server_id=0, capacity=40.0, boot_time=60.0) -> Server:
+    return Server(
+        server_id=server_id,
+        power_model=ServerPowerModel(w1=1.425, w2=38.0, capacity=capacity),
+        boot_time=boot_time,
+    )
+
+
+def task(task_id=0, work=1.0) -> Task:
+    return Task(task_id=task_id, work=work, created_at=0.0)
+
+
+class TestServerLifecycle:
+    def test_starts_on(self):
+        assert make_server().state is ServerState.ON
+
+    def test_power_off_then_on_boots(self):
+        server = make_server()
+        server.power_off()
+        assert server.state is ServerState.OFF
+        server.power_on()
+        assert server.state is ServerState.BOOTING
+
+    def test_boot_completes_after_boot_time(self):
+        server = make_server(boot_time=10.0)
+        server.power_off()
+        server.power_on()
+        server.tick(5.0)
+        assert server.state is ServerState.BOOTING
+        server.tick(6.0)
+        assert server.state is ServerState.ON
+
+    def test_booting_draws_idle_power(self):
+        server = make_server()
+        server.power_off()
+        server.power_on()
+        assert server.power() == pytest.approx(38.0)
+
+    def test_off_draws_nothing(self):
+        server = make_server()
+        server.power_off()
+        assert server.power() == pytest.approx(0.0)
+
+    def test_submit_to_off_server_rejected(self):
+        server = make_server()
+        server.power_off()
+        with pytest.raises(ConfigurationError):
+            server.submit(task())
+
+
+class TestServerProcessing:
+    def test_completes_at_capacity(self):
+        server = make_server(capacity=10.0)
+        for i in range(25):
+            server.submit(task(i))
+        done = server.tick(1.0)
+        assert done == 10
+        assert server.utilization == pytest.approx(1.0)
+
+    def test_partial_task_progress_carries_over(self):
+        server = make_server(capacity=1.0)
+        server.submit(task(0, work=2.5))
+        assert server.tick(1.0) == 0
+        assert server.tick(1.0) == 0
+        assert server.tick(1.0) == 1  # finishes at 2.5 units of work
+
+    def test_idle_utilization_zero(self):
+        server = make_server()
+        server.tick(1.0)
+        assert server.utilization == pytest.approx(0.0)
+
+    def test_partial_utilization(self):
+        server = make_server(capacity=10.0)
+        server.submit(task(0, work=4.0))
+        server.tick(1.0)
+        assert server.utilization == pytest.approx(0.4)
+
+    def test_power_reflects_work_done(self):
+        server = make_server(capacity=10.0)
+        server.submit(task(0, work=5.0))
+        server.tick(1.0)
+        assert server.power() == pytest.approx(38.0 + 1.425 * 5.0)
+
+    def test_drain_returns_and_clears_queue(self):
+        server = make_server()
+        for i in range(3):
+            server.submit(task(i))
+        drained = server.drain()
+        assert len(drained) == 3
+        assert server.queue_length == 0
+        assert server.queued_work == pytest.approx(0.0)
+
+    def test_completed_counters(self):
+        server = make_server(capacity=5.0)
+        for i in range(5):
+            server.submit(task(i))
+        server.tick(1.0)
+        assert server.completed_tasks == 5
+        assert server.completed_work == pytest.approx(5.0)
+
+    def test_rejects_non_positive_dt(self):
+        with pytest.raises(ConfigurationError):
+            make_server().tick(0.0)
+
+
+class TestCluster:
+    def make_cluster(self, n=4) -> Cluster:
+        return Cluster([make_server(i) for i in range(n)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Cluster([])
+
+    def test_rejects_misnumbered_ids(self):
+        with pytest.raises(ConfigurationError):
+            Cluster([make_server(1), make_server(0)])
+
+    def test_capacity_totals(self):
+        cluster = self.make_cluster(4)
+        assert cluster.total_capacity == pytest.approx(160.0)
+        cluster[0].power_off()
+        assert cluster.online_capacity == pytest.approx(120.0)
+
+    def test_apply_on_set_turns_off_others(self):
+        cluster = self.make_cluster(4)
+        cluster.apply_on_set([0, 2])
+        assert cluster.on_mask() == [True, False, True, False]
+
+    def test_apply_on_set_returns_orphans(self):
+        cluster = self.make_cluster(3)
+        cluster[2].submit(task(0))
+        cluster[2].submit(task(1))
+        orphans = cluster.apply_on_set([0, 1])
+        assert len(orphans) == 2
+
+    def test_apply_on_set_rejects_unknown_ids(self):
+        with pytest.raises(ConfigurationError):
+            self.make_cluster(3).apply_on_set([0, 7])
+
+    def test_total_power_sums_servers(self):
+        cluster = self.make_cluster(3)
+        cluster.apply_on_set([0])
+        assert cluster.total_power() == pytest.approx(38.0)
+
+    def test_tick_aggregates_completions(self):
+        cluster = self.make_cluster(2)
+        for i in range(4):
+            cluster[i % 2].submit(task(i))
+        assert cluster.tick(1.0) == 4
+        assert cluster.total_completed() == 4

@@ -1,0 +1,76 @@
+"""Tests for the batch task generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.tasks import TaskGenerator
+
+
+class TestConstruction:
+    def test_rejects_negative_rate(self, rng):
+        with pytest.raises(ConfigurationError):
+            TaskGenerator(rng, rate=-1.0)
+
+    def test_rejects_negative_sigma(self, rng):
+        with pytest.raises(ConfigurationError):
+            TaskGenerator(rng, rate=1.0, size_sigma=-0.1)
+
+
+class TestArrivals:
+    def test_deterministic_mode_exact_count(self, rng):
+        gen = TaskGenerator(rng, rate=10.0, deterministic=True)
+        tasks = gen.tick(5.0)
+        assert len(tasks) == 50
+
+    def test_deterministic_fractional_carry(self, rng):
+        gen = TaskGenerator(rng, rate=0.4, deterministic=True)
+        counts = [len(gen.tick(1.0)) for _ in range(10)]
+        assert sum(counts) == 4  # 0.4 * 10, accumulated exactly
+
+    def test_poisson_mean_rate(self, rng):
+        gen = TaskGenerator(rng, rate=20.0)
+        total = sum(len(gen.tick(1.0)) for _ in range(400))
+        assert total / 400.0 == pytest.approx(20.0, rel=0.05)
+
+    def test_zero_rate_produces_nothing(self, rng):
+        gen = TaskGenerator(rng, rate=0.0)
+        assert gen.tick(100.0) == []
+
+    def test_ids_are_unique_and_increasing(self, rng):
+        gen = TaskGenerator(rng, rate=50.0)
+        ids = [t.task_id for t in gen.tick(2.0)]
+        assert ids == sorted(set(ids))
+
+    def test_created_at_tracks_generator_time(self, rng):
+        gen = TaskGenerator(rng, rate=5.0, deterministic=True)
+        gen.tick(3.0)
+        second_batch = gen.tick(1.0)
+        assert all(t.created_at == pytest.approx(3.0) for t in second_batch)
+
+    def test_rejects_non_positive_dt(self, rng):
+        with pytest.raises(ConfigurationError):
+            TaskGenerator(rng, rate=1.0).tick(0.0)
+
+
+class TestSizes:
+    def test_sigma_zero_gives_unit_work(self, rng):
+        gen = TaskGenerator(rng, rate=30.0, size_sigma=0.0)
+        assert all(t.work == pytest.approx(1.0) for t in gen.tick(3.0))
+
+    def test_mean_work_is_one(self, rng):
+        gen = TaskGenerator(rng, rate=100.0, size_sigma=0.25)
+        works = [t.work for t in gen.tick(50.0)]
+        assert np.mean(works) == pytest.approx(1.0, rel=0.03)
+
+    def test_work_always_positive(self, rng):
+        gen = TaskGenerator(rng, rate=100.0, size_sigma=0.5)
+        assert all(t.work > 0.0 for t in gen.tick(10.0))
+
+
+class TestStream:
+    def test_stream_yields_requested_ticks(self, rng):
+        gen = TaskGenerator(rng, rate=5.0, deterministic=True)
+        batches = list(gen.stream(dt=1.0, ticks=7))
+        assert len(batches) == 7
+        assert gen.generated_count == 35
