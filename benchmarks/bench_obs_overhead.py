@@ -1,0 +1,57 @@
+"""Observability overhead: instrumented hot paths, enabled vs disabled.
+
+The acceptance bar for :mod:`repro.obs` is that the disabled mode is
+free enough that tier-1 timings are unaffected, and the enabled mode
+stays under a few percent on the paper-scale solve path.  These benches
+measure both sides on the profiled 20-machine testbed so the trade-off
+stays visible in the perf trajectory.
+
+Note the session-wide ``observability`` fixture (see ``conftest.py``)
+keeps recording on for every other bench; here it is toggled explicitly
+around each measurement and restored afterwards.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def paper_load(context) -> float:
+    """50% of the 20-machine testbed's capacity, tasks/s."""
+    return 0.5 * sum(context.model.capacities)
+
+
+@pytest.fixture
+def restore_enabled():
+    """Restore the session's observability switch after the bench."""
+    was_enabled = obs.enabled()
+    yield
+    if was_enabled:
+        obs.enable()
+    else:
+        obs.disable()
+
+
+def test_solve_observability_disabled(
+    benchmark, context, paper_load, restore_enabled
+):
+    context.optimizer.solve(paper_load)  # warm the consolidation index
+    obs.disable()
+    benchmark(context.optimizer.solve, paper_load)
+
+
+def test_solve_observability_enabled(
+    benchmark, context, paper_load, restore_enabled
+):
+    context.optimizer.solve(paper_load)  # warm the consolidation index
+    obs.enable()
+    benchmark(context.optimizer.solve, paper_load)
+
+
+def test_steady_state_observability_enabled(
+    benchmark, context, restore_enabled
+):
+    simulation = context.testbed.simulation
+    obs.enable()
+    benchmark(simulation.steady_state)

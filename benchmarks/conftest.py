@@ -4,6 +4,13 @@ Each bench regenerates one table or figure of the paper.  Besides the
 timing that pytest-benchmark records, every bench *emits* the regenerated
 rows: printed to stdout (visible with ``-s``) and written to
 ``benchmarks/results/<name>.txt`` so the reproduction artifacts persist.
+
+Observability (:mod:`repro.obs`) is enabled for the whole bench session;
+at teardown the per-stage wall-clock attribution (selection vs closed
+form vs actuation, index preprocessing, simulation stepping, profiling
+sweeps) is written to ``benchmarks/results/observability.json`` — the
+machine-readable perf trajectory.  Its schema is enforced by
+``tests/test_bench_schema.py``.
 """
 
 from __future__ import annotations
@@ -12,9 +19,22 @@ import pathlib
 
 import pytest
 
+from repro import obs
 from repro.experiments.common import EvaluationContext, default_context
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def observability():
+    """Record per-stage timings for the whole bench session."""
+    registry = obs.enable()
+    yield registry
+    RESULTS_DIR.mkdir(exist_ok=True)
+    obs.write_bench_observability(
+        RESULTS_DIR / "observability.json", registry
+    )
+    obs.disable()
 
 
 @pytest.fixture(scope="session")

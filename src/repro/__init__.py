@@ -25,6 +25,7 @@ Quickstart::
     print(result.on_ids, result.t_sp, result.loads)
 """
 
+from repro import obs
 from repro.core.closed_form import ClosedFormSolution, solve_closed_form
 from repro.core.consolidation import ConsolidationIndex
 from repro.core.model import (
@@ -55,6 +56,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # errors
     "ReproError",
     "ConfigurationError",

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the CLI entry point (see :mod:`repro.cli`)."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

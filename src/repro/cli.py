@@ -9,6 +9,7 @@ Usage::
     repro profile --save model.json # profile and persist the fitted model
     repro solve --load 400          # run the optimizer on a profiled rack
     repro solve --load 400 --model model.json   # ... on a saved model
+    repro metrics --load 400        # instrumented run + registry dump (JSON)
 
 Heavy contexts (profiling campaigns) are cached per process, so ``repro
 all`` profiles the testbed once.
@@ -69,7 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         help="figure id (fig1..fig10, headline, algorithms), 'all', "
-        "'list', 'profile', or 'solve'",
+        "'list', 'profile', 'solve', or 'metrics'",
     )
     parser.add_argument(
         "--seed", type=int, default=2012, help="testbed build seed"
@@ -116,8 +117,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.target == "list":
         for name in [*standalone, *contextual, "all", "profile", "solve",
-                     "report"]:
+                     "report", "metrics"]:
             print(name)
+        return 0
+
+    if args.target == "metrics":
+        from repro import obs
+
+        was_enabled = obs.enabled()
+        registry = obs.enable()
+        try:
+            # One instrumented end-to-end run: profile the testbed, then
+            # solve (at --load, or at 50% of capacity).  The registry dump
+            # covers the campaign, the index build, and the solve.
+            ctx = default_context(seed=args.seed, n_machines=args.machines)
+            load = (
+                args.load
+                if args.load is not None
+                else 0.5 * sum(ctx.model.capacities)
+            )
+            ctx.optimizer.solve(load)
+            print(registry.to_json(indent=2))
+        finally:
+            if not was_enabled:
+                obs.disable()
         return 0
 
     if args.target == "report":

@@ -37,6 +37,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.core.model import SystemModel
 
@@ -159,58 +160,61 @@ def solve_closed_form(
         achievable supply temperature keeps every CPU at or below
         ``T_max``.
     """
-    on = _validate(model, on_ids, total_load)
-    if enforce_capacity:
-        cap = sum(model.capacities[i] for i in on)
-        if total_load > cap + _TOL:
-            raise InfeasibleError(
-                f"load {total_load:.3f} exceeds ON-set capacity {cap:.3f}"
-            )
+    with obs.timed("closed_form"):
+        on = _validate(model, on_ids, total_load)
+        if enforce_capacity:
+            cap = sum(model.capacities[i] for i in on)
+            if total_load > cap + _TOL:
+                raise InfeasibleError(
+                    f"load {total_load:.3f} exceeds ON-set capacity {cap:.3f}"
+                )
 
-    t_ac_raw = optimal_supply_temperature(model, on, total_load)
-    t_ac = model.cooler.clamp_t_ac(t_ac_raw)
-    clamped = abs(t_ac - t_ac_raw) > _TOL
+        t_ac_raw = optimal_supply_temperature(model, on, total_load)
+        t_ac = model.cooler.clamp_t_ac(t_ac_raw)
+        clamped = abs(t_ac - t_ac_raw) > _TOL
 
-    loads, common_t, active = _active_set_loads(
-        model, on, total_load, t_ac, enforce_capacity
-    )
-    if common_t > model.t_max + 1e-6:
-        # Capacity pinning (or an upward clamp of Eq. 21) concentrated
-        # load on the remaining machines beyond T_max; the supply air
-        # must run colder than Eq. 21 suggests.  The shared temperature
-        # is monotone increasing in t_ac, so bisect.
-        t_ac = _backoff_supply_temperature(
-            model, on, total_load, t_ac, enforce_capacity
-        )
         loads, common_t, active = _active_set_loads(
             model, on, total_load, t_ac, enforce_capacity
         )
-        clamped = True
-    repaired = len(active) < len(on) or clamped
-
-    if common_t > model.t_max + 1e-6:
-        raise InfeasibleError(
-            f"even at T_ac={t_ac:.2f} K the shared CPU temperature would be "
-            f"{common_t:.2f} K > T_max={model.t_max:.2f} K"
-        )
-    # Idle-but-on machines must also respect T_max.
-    for i in on:
-        idle_limit = model.nodes[i].max_supply_temperature(
-            0.0, model.t_max, model.power
-        )
-        if loads[i] <= _TOL and t_ac > idle_limit + 1e-6:
-            raise InfeasibleError(
-                f"idle machine {i} would exceed T_max at T_ac={t_ac:.2f} K"
+        if common_t > model.t_max + 1e-6:
+            # Capacity pinning (or an upward clamp of Eq. 21) concentrated
+            # load on the remaining machines beyond T_max; the supply air
+            # must run colder than Eq. 21 suggests.  The shared temperature
+            # is monotone increasing in t_ac, so bisect.
+            t_ac = _backoff_supply_temperature(
+                model, on, total_load, t_ac, enforce_capacity
             )
+            loads, common_t, active = _active_set_loads(
+                model, on, total_load, t_ac, enforce_capacity
+            )
+            clamped = True
+        repaired = len(active) < len(on) or clamped
 
-    server_power = np.zeros(model.node_count)
-    t_cpu = np.full(model.node_count, np.nan)
-    for i in on:
-        server_power[i] = model.power.power(float(loads[i]))
-        t_cpu[i] = model.nodes[i].cpu_temperature(t_ac, server_power[i])
-    total_server = float(server_power.sum())
-    t_sp = model.cooler.set_point_for(t_ac, total_server)
-    cooling = model.cooler.cooling_power(t_sp, t_ac)
+        if common_t > model.t_max + 1e-6:
+            raise InfeasibleError(
+                f"even at T_ac={t_ac:.2f} K the shared CPU temperature "
+                f"would be {common_t:.2f} K > T_max={model.t_max:.2f} K"
+            )
+        # Idle-but-on machines must also respect T_max.
+        for i in on:
+            idle_limit = model.nodes[i].max_supply_temperature(
+                0.0, model.t_max, model.power
+            )
+            if loads[i] <= _TOL and t_ac > idle_limit + 1e-6:
+                raise InfeasibleError(
+                    f"idle machine {i} would exceed T_max at "
+                    f"T_ac={t_ac:.2f} K"
+                )
+
+    with obs.timed("actuation"):
+        server_power = np.zeros(model.node_count)
+        t_cpu = np.full(model.node_count, np.nan)
+        for i in on:
+            server_power[i] = model.power.power(float(loads[i]))
+            t_cpu[i] = model.nodes[i].cpu_temperature(t_ac, server_power[i])
+        total_server = float(server_power.sum())
+        t_sp = model.cooler.set_point_for(t_ac, total_server)
+        cooling = model.cooler.cooling_power(t_sp, t_ac)
 
     return ClosedFormSolution(
         loads=loads,
@@ -286,6 +290,7 @@ def _active_set_loads(
     pinned_at_cap: dict[int, float] = {}
     remaining = total_load
     for _ in range(2 * len(on) + 1):
+        obs.count("closed_form.active_set_rounds")
         if not active:
             if remaining > _TOL:
                 raise InfeasibleError(
@@ -361,6 +366,7 @@ def _backoff_supply_temperature(
         )
     hi = t_ac_high
     for _ in range(80):
+        obs.count("closed_form.backoff_bisections")
         mid = 0.5 * (lo + hi)
         _, common_mid, _ = _active_set_loads(
             model, on, total_load, mid, enforce_capacity

@@ -46,6 +46,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.core.select import Pair, _validate_pairs, ratio
 
@@ -177,30 +178,34 @@ class ConsolidationIndex:
         return events
 
     def _preprocess(self) -> None:
-        self.events = self._compute_events()
-        times = [0.0] + [e.t for e in self.events]
-        # Tabulate the order right after each event (and at t = 0).
-        for t in times:
-            self.orders[t] = self._order_after(t)
-        # Sum the first k coordinates of each order (statuses).
-        statuses: list[Status] = []
-        for t in self.orders:
-            order = self.orders[t]
-            x = self._coordinates(t)
-            l_max = 0.0
-            for k, index in enumerate(order, start=1):
-                l_max += float(x[index])
-                statuses.append(
-                    Status(
-                        t=t,
-                        k=k,
-                        l_max=l_max,
-                        p_b=k * self.w2 - self.rho * t + self.theta0,
+        with obs.timed("consolidation/preprocess"):
+            self.events = self._compute_events()
+            times = [0.0] + [e.t for e in self.events]
+            # Tabulate the order right after each event (and at t = 0).
+            for t in times:
+                self.orders[t] = self._order_after(t)
+            # Sum the first k coordinates of each order (statuses).
+            statuses: list[Status] = []
+            for t in self.orders:
+                order = self.orders[t]
+                x = self._coordinates(t)
+                l_max = 0.0
+                for k, index in enumerate(order, start=1):
+                    l_max += float(x[index])
+                    statuses.append(
+                        Status(
+                            t=t,
+                            k=k,
+                            l_max=l_max,
+                            p_b=k * self.w2 - self.rho * t + self.theta0,
+                        )
                     )
-                )
-        statuses.sort(key=lambda s: s.l_max)
-        self.all_status = statuses
-        self._status_lmax = [s.l_max for s in statuses]
+            statuses.sort(key=lambda s: s.l_max)
+            self.all_status = statuses
+            self._status_lmax = [s.l_max for s in statuses]
+        obs.count("consolidation.builds")
+        obs.set_gauge("consolidation.events", len(self.events))
+        obs.set_gauge("consolidation.statuses", len(self.all_status))
 
     # ------------------------------------------------------------------ #
     # Algorithm 2
@@ -230,6 +235,7 @@ class ConsolidationIndex:
         InfeasibleError
             If no tabulated status can serve ``load``.
         """
+        obs.count("consolidation.queries")
         pos = bisect.bisect_right(self._status_lmax, load)
         if pos >= len(self.all_status):
             raise InfeasibleError(
@@ -280,6 +286,8 @@ class ConsolidationIndex:
             if power < best_power - 1e-12:
                 best_power = power
                 best_subset = list(subset)
+        obs.count("consolidation.refined_queries")
+        obs.count("consolidation.query_refined_rescored", len(seen))
         if best_subset is None:
             raise InfeasibleError(
                 f"no feasible status for load {load} within the supply band"

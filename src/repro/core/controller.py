@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.core.optimizer import JointOptimizer, OptimizationResult
 from repro.errors import ConfigurationError, InfeasibleError
 
@@ -134,12 +135,15 @@ class RuntimeController:
             selection=self.optimizer.selection,
             cost_model=self.optimizer.cost_model,
         )
-        result = self.optimizer.solve(
-            self._planned_for, exclude=sorted(self.failed)
-        )
+        obs.count("controller.watchdog_trips")
+        with obs.timed("controller/replan"):
+            result = self.optimizer.solve(
+                self._planned_for, exclude=sorted(self.failed)
+            )
         self._plan = result
         self._last_change = time
         self.reconfigurations += 1
+        obs.count("controller.reconfigurations")
         self.events.append(
             ControllerEvent(
                 time=time,
@@ -205,6 +209,7 @@ class RuntimeController:
             # Scale-down within dwell: keep the old (over-provisioned but
             # safe) plan rather than flapping.
             self.suppressed += 1
+            obs.count("controller.suppressed")
             return None
         capacity = sum(
             c
@@ -217,11 +222,15 @@ class RuntimeController:
                 f"offered load {load:.1f} exceeds surviving capacity "
                 f"{capacity:.1f}"
             )
-        result = self.optimizer.solve(target, exclude=sorted(self.failed))
+        with obs.timed("controller/replan"):
+            result = self.optimizer.solve(
+                target, exclude=sorted(self.failed)
+            )
         self._plan = result
         self._planned_for = target
         self._last_change = time
         self.reconfigurations += 1
+        obs.count("controller.reconfigurations")
         self.events.append(
             ControllerEvent(
                 time=time,
@@ -243,8 +252,17 @@ class RuntimeController:
         """
         if dt <= 0.0:
             raise ConfigurationError(f"dt must be positive, got {dt}")
-        t = 0.0
-        while t <= trace.duration:
-            self.observe(t, trace.load_at(t))
-            t += dt
+        with obs.record_run(
+            "controller.trace",
+            inputs={"duration": trace.duration, "dt": dt},
+        ) as rec:
+            t = 0.0
+            while t <= trace.duration:
+                self.observe(t, trace.load_at(t))
+                t += dt
+            if rec is not None:
+                rec.outcome.update(
+                    reconfigurations=self.reconfigurations,
+                    suppressed=self.suppressed,
+                )
         return list(self.events)

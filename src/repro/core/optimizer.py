@@ -26,6 +26,7 @@ from typing import Literal, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.core.closed_form import ClosedFormSolution, solve_closed_form
 from repro.core.consolidation import ConsolidationIndex
@@ -146,6 +147,7 @@ class JointOptimizer:
         if self._index is None:
             w2_eff, rho = self._cost_coefficients()
             t_min, t_max = self._t_bounds()
+            obs.count("optimizer.index_builds")
             self._index = ConsolidationIndex(
                 pairs=self.model.ab_pairs(),
                 w2=w2_eff,
@@ -251,26 +253,41 @@ class JointOptimizer:
         )
 
         def predicted(load: float) -> float:
+            obs.count("optimizer.max_load_probes")
             return self.solve(
                 load, exclude=sorted(excluded)
             ).predicted_total_power
 
-        lo = 1e-6 * capacity
-        if predicted(lo) > power_budget:
-            raise InfeasibleError(
-                f"budget {power_budget:.1f} W cannot power even an "
-                "idle minimal configuration"
-            )
-        hi = capacity
-        if predicted(hi) <= power_budget:
-            return hi, self.solve(hi, exclude=sorted(excluded))
-        while hi - lo > tolerance * capacity:
-            mid = 0.5 * (lo + hi)
-            if predicted(mid) <= power_budget:
-                lo = mid
+        with obs.record_run(
+            "optimizer.max_load",
+            inputs={"power_budget": float(power_budget)},
+            method=self.selection,
+        ) as rec:
+            lo = 1e-6 * capacity
+            if predicted(lo) > power_budget:
+                raise InfeasibleError(
+                    f"budget {power_budget:.1f} W cannot power even an "
+                    "idle minimal configuration"
+                )
+            hi = capacity
+            if predicted(hi) <= power_budget:
+                result = self.solve(hi, exclude=sorted(excluded))
+                max_load = hi
             else:
-                hi = mid
-        return lo, self.solve(lo, exclude=sorted(excluded))
+                while hi - lo > tolerance * capacity:
+                    mid = 0.5 * (lo + hi)
+                    if predicted(mid) <= power_budget:
+                        lo = mid
+                    else:
+                        hi = mid
+                result = self.solve(lo, exclude=sorted(excluded))
+                max_load = lo
+            if rec is not None:
+                rec.outcome.update(
+                    max_load=max_load,
+                    predicted_total_power=result.predicted_total_power,
+                )
+        return max_load, result
 
     def solve(
         self,
@@ -294,27 +311,41 @@ class JointOptimizer:
         exclude:
             Machines unavailable to any solution (failures/maintenance).
         """
-        excluded = set(int(i) for i in exclude) if exclude else set()
-        if on_ids is not None:
-            chosen = sorted(int(i) for i in on_ids)
-            overlap = excluded & set(chosen)
-            if overlap:
-                raise ConfigurationError(
-                    f"explicit ON set includes excluded machines: "
-                    f"{sorted(overlap)}"
+        with obs.record_run(
+            "optimizer.solve", inputs={"total_load": float(total_load)}
+        ) as rec:
+            excluded = set(int(i) for i in exclude) if exclude else set()
+            with obs.timed("selection"):
+                if on_ids is not None:
+                    chosen = sorted(int(i) for i in on_ids)
+                    overlap = excluded & set(chosen)
+                    if overlap:
+                        raise ConfigurationError(
+                            f"explicit ON set includes excluded machines: "
+                            f"{sorted(overlap)}"
+                        )
+                    method = "explicit"
+                elif consolidate:
+                    chosen = self.select_on_set(total_load, exclude=exclude)
+                    method = self.selection
+                else:
+                    chosen = [
+                        i
+                        for i in range(self.model.node_count)
+                        if i not in excluded
+                    ]
+                    method = "all"
+            solution = solve_closed_form(self.model, chosen, total_load)
+            if rec is not None:
+                rec.method = method
+                rec.outcome.update(
+                    machines_on=len(solution.on_ids),
+                    t_ac=solution.t_ac,
+                    t_sp=solution.t_sp,
+                    predicted_total_power=solution.predicted_total_power,
+                    clamped=solution.clamped,
+                    repaired=solution.repaired,
                 )
-            method = "explicit"
-        elif consolidate:
-            chosen = self.select_on_set(total_load, exclude=exclude)
-            method = self.selection
-        else:
-            chosen = [
-                i
-                for i in range(self.model.node_count)
-                if i not in excluded
-            ]
-            method = "all"
-        solution = solve_closed_form(self.model, chosen, total_load)
         return OptimizationResult(
             loads=solution.loads,
             on_ids=solution.on_ids,

@@ -12,11 +12,12 @@ Regenerates the paper's algorithmic claims as measurements:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
+
+from repro.obs import timed
 
 from repro.core.consolidation import ConsolidationIndex
 from repro.core.heuristics import (
@@ -150,23 +151,21 @@ def scaling_study(
     points = []
     for n in sizes:
         pairs = random_instance(rng, n)
-        t0 = time.perf_counter()
-        index = ConsolidationIndex(pairs, w2=38.0, rho=9000.0)
-        t1 = time.perf_counter()
+        with timed("algorithms/preprocess") as preprocess:
+            index = ConsolidationIndex(pairs, w2=38.0, rho=9000.0)
         loads = rng.uniform(
             0.05, 0.8, size=200
         ) * sum(a for a, _ in pairs)
-        t2 = time.perf_counter()
-        for load in loads:
-            index.query(float(load))
-        t3 = time.perf_counter()
+        with timed("algorithms/queries") as queries:
+            for load in loads:
+                index.query(float(load))
         points.append(
             ScalingPoint(
                 n=n,
                 events=index.event_count,
                 statuses=index.status_count,
-                preprocess_seconds=t1 - t0,
-                query_microseconds=(t3 - t2) / len(loads) * 1e6,
+                preprocess_seconds=preprocess.duration,
+                query_microseconds=queries.duration / len(loads) * 1e6,
             )
         )
     return points

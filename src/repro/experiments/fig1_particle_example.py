@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from repro.core.consolidation import ConsolidationIndex
 from repro.core.select import Pair
+from repro.obs import timed
 
 #: Reconstructed Fig. 1 instance (see module docstring).  Particle ids in
 #: the paper are 1-based; indices here are 0-based.
@@ -70,7 +71,8 @@ class Fig1Result:
 
 def run_fig1() -> Fig1Result:
     """Build the Algorithm-1 index for the Fig. 1 instance."""
-    index = ConsolidationIndex(FIG1_PAIRS, w2=1.0, rho=1.0)
+    with timed("fig1/index_build"):
+        index = ConsolidationIndex(FIG1_PAIRS, w2=1.0, rho=1.0)
     timeline = index.order_timeline()
     orders = tuple(
         tuple(i + 1 for i in order) for _, order in timeline

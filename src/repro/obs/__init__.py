@@ -1,0 +1,86 @@
+"""repro.obs — process-local observability for the reproduction.
+
+Metrics (counters, gauges, histograms), scoped wall-clock timers, and
+structured per-run records for the optimizer, the thermal simulation,
+the profiling campaign, and the runtime controller — behind a
+near-zero-cost disabled mode so tier-1 timings are unaffected.
+
+Quickstart::
+
+    from repro import obs
+
+    registry = obs.enable()            # start recording
+    ...                                # run instrumented code
+    record = obs.last_record("optimizer.solve")
+    print(record.stages)               # {"selection": ..., "closed_form": ...}
+    print(registry.to_json(indent=2))  # the whole registry
+    obs.disable()
+
+See ``docs/observability.md`` for the full API, the record schema, the
+exporter formats, and overhead expectations.
+"""
+
+from repro.obs.export import (
+    bench_observability,
+    validate_bench_observability,
+    write_bench_observability,
+)
+from repro.obs.metrics import (
+    MAX_HISTOGRAM_SAMPLES,
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.records import (
+    RunRecord,
+    records_from_csv,
+    records_to_csv,
+)
+from repro.obs.runtime import (
+    count,
+    current_record,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    last_record,
+    observe,
+    record_run,
+    reset,
+    set_gauge,
+    timed,
+)
+
+__all__ = [
+    # switches / registry access
+    "enable",
+    "disable",
+    "enabled",
+    "get_registry",
+    "reset",
+    # instruments
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "count",
+    "set_gauge",
+    "observe",
+    "MAX_HISTOGRAM_SAMPLES",
+    "SCHEMA_VERSION",
+    # timers
+    "timed",
+    # run records
+    "RunRecord",
+    "record_run",
+    "current_record",
+    "last_record",
+    "records_to_csv",
+    "records_from_csv",
+    # exporters
+    "bench_observability",
+    "write_bench_observability",
+    "validate_bench_observability",
+]

@@ -1,0 +1,118 @@
+"""Exporter glue: bench-results observability JSON and schema checks.
+
+The benchmark harness (``benchmarks/conftest.py``) enables observability
+for the whole session and, at teardown, writes
+``benchmarks/results/observability.json`` through
+:func:`write_bench_observability`.  The file is the machine-readable
+side of the perf trajectory: a ``stages`` map of wall-clock summaries
+for every instrumented span, plus the counter/gauge totals of the run.
+
+:func:`validate_bench_observability` is the schema check wired into
+tier-1 (``tests/test_bench_schema.py``): any future change to the
+emitted shape must update the validator (and the documented schema in
+``docs/observability.md``) in the same PR, so drift is caught at test
+time rather than by a broken dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Mapping, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import SCHEMA_VERSION, MetricsRegistry
+
+#: Keys every histogram summary must carry.
+_SUMMARY_KEYS = ("count", "total", "mean", "min", "max")
+
+
+def bench_observability(registry: MetricsRegistry) -> dict:
+    """The bench-results observability document for ``registry``.
+
+    Shape (see ``docs/observability.md`` for the worked schema)::
+
+        {
+          "schema": 1,
+          "stages": {"<span path>": {count,total,mean,min,max}, ...},
+          "counters": {"<name>": <total>, ...},
+          "gauges": {"<name>": <value>, ...},
+          "runs": <number of completed run records>
+        }
+    """
+    snapshot = registry.snapshot()
+    return {
+        "schema": snapshot["schema"],
+        "stages": registry.timings(),
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "runs": len(snapshot["records"]),
+    }
+
+
+def write_bench_observability(
+    path: Union[str, pathlib.Path], registry: MetricsRegistry
+) -> pathlib.Path:
+    """Write the per-stage timing document to ``path``; returns it."""
+    target = pathlib.Path(path)
+    document = bench_observability(registry)
+    validate_bench_observability(document)
+    target.write_text(json.dumps(document, indent=2) + "\n")
+    return target
+
+
+def validate_bench_observability(document: Mapping) -> None:
+    """Raise :class:`ConfigurationError` unless ``document`` conforms.
+
+    Checks the contract downstream tooling relies on: the schema stamp,
+    a ``stages`` timing map whose entries are complete histogram
+    summaries with coherent statistics, and numeric counter/gauge maps.
+    """
+    if not isinstance(document, Mapping):
+        raise ConfigurationError("observability document must be a mapping")
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported observability schema {document.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    stages = document.get("stages")
+    if not isinstance(stages, Mapping):
+        raise ConfigurationError("'stages' timing map missing")
+    for name, summary in stages.items():
+        if not isinstance(summary, Mapping):
+            raise ConfigurationError(f"stage {name!r} summary must be a map")
+        missing = [k for k in _SUMMARY_KEYS if k not in summary]
+        if missing:
+            raise ConfigurationError(
+                f"stage {name!r} summary missing {missing}"
+            )
+        count = summary["count"]
+        if not isinstance(count, int) or count < 0:
+            raise ConfigurationError(
+                f"stage {name!r} count must be a non-negative int"
+            )
+        for key in ("total", "mean", "min", "max"):
+            if not isinstance(summary[key], (int, float)):
+                raise ConfigurationError(
+                    f"stage {name!r} {key} must be numeric"
+                )
+        if count and not (
+            summary["min"] - 1e-12
+            <= summary["mean"]
+            <= summary["max"] + 1e-12
+        ):
+            raise ConfigurationError(
+                f"stage {name!r} mean outside [min, max]"
+            )
+    for section in ("counters", "gauges"):
+        values = document.get(section)
+        if not isinstance(values, Mapping):
+            raise ConfigurationError(f"{section!r} map missing")
+        for name, value in values.items():
+            if not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"{section} entry {name!r} must be numeric"
+                )
+    runs = document.get("runs")
+    if not isinstance(runs, int) or runs < 0:
+        raise ConfigurationError("'runs' must be a non-negative int")

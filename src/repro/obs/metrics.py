@@ -1,0 +1,239 @@
+"""Metric primitives and the process-local registry.
+
+Three instrument kinds, mirroring the usual metrics vocabulary:
+
+- :class:`Counter` — a monotonically increasing total (events seen,
+  solver iterations performed, simulation steps taken);
+- :class:`Gauge` — a point-in-time value that can move both ways
+  (statuses tabulated by the last index build, machines currently on);
+- :class:`Histogram` — a distribution of observations, used for all
+  wall-clock span durations (``time.<span>`` series recorded by
+  :class:`repro.obs.runtime.timed`).
+
+A :class:`MetricsRegistry` owns one namespace of instruments plus the
+list of completed :class:`~repro.obs.records.RunRecord` objects.  The
+registry is plain data: enabling/disabling instrumentation and the
+module-global default registry live in :mod:`repro.obs.runtime`.
+
+Everything here is process-local and intentionally lock-free: the
+reproduction is single-threaded (numpy releases the GIL only inside
+kernels), and the near-zero-cost disabled mode matters more than
+concurrent mutation safety.  Snapshots are JSON-safe dictionaries and
+round-trip through :meth:`MetricsRegistry.from_snapshot`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.records import RunRecord
+
+#: Version stamp embedded in every snapshot so downstream consumers
+#: (the bench results schema check, dashboards) can detect drift.
+SCHEMA_VERSION = 1
+
+#: Histograms keep at most this many raw samples (count/total/min/max
+#: stay exact beyond it); bounds memory for long campaigns.
+MAX_HISTOGRAM_SAMPLES = 4096
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0.0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move in either direction."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A distribution of observations (durations, sizes, gaps).
+
+    Tracks exact ``count``/``total``/``min``/``max`` for any number of
+    observations and keeps the first :data:`MAX_HISTOGRAM_SAMPLES` raw
+    samples for percentile queries.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < MAX_HISTOGRAM_SAMPLES:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (over the retained samples)."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = q / 100.0 * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> dict:
+        """JSON-safe summary (raw samples are not exported)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """One namespace of counters, gauges, histograms, and run records.
+
+    Instruments are created on first use (``registry.counter("x")``)
+    so call sites never need registration boilerplate.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.records: list[RunRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # Instrument access (get-or-create)
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str) -> Counter:
+        inst = self.counters.get(name)
+        if inst is None:
+            inst = self.counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self.gauges.get(name)
+        if inst is None:
+            inst = self.gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self.histograms.get(name)
+        if inst is None:
+            inst = self.histograms[name] = Histogram(name)
+        return inst
+
+    def reset(self) -> None:
+        """Drop every instrument and record."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.records.clear()
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    def timings(self) -> dict[str, dict]:
+        """Summaries of every ``time.<span>`` histogram, keyed by span
+        path (the ``time.`` prefix stripped)."""
+        return {
+            name[len("time.") :]: hist.summary()
+            for name, hist in sorted(self.histograms.items())
+            if name.startswith("time.")
+        }
+
+    def snapshot(self) -> dict:
+        """The whole registry as one JSON-safe dictionary."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "counters": {
+                name: c.value for name, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self.histograms.items())
+            },
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The snapshot serialized as JSON."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output.
+
+        Histogram raw samples are not exported, so percentile queries on
+        the rebuilt registry degrade to the mean; ``snapshot()`` of the
+        result round-trips exactly.
+        """
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported metrics snapshot schema {schema!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        registry = cls()
+        for name, value in data.get("counters", {}).items():
+            registry.counter(name).value = float(value)
+        for name, value in data.get("gauges", {}).items():
+            registry.gauge(name).set(float(value))
+        for name, summary in data.get("histograms", {}).items():
+            hist = registry.histogram(name)
+            hist.count = int(summary["count"])
+            hist.total = float(summary["total"])
+            if hist.count:
+                hist.min = float(summary["min"])
+                hist.max = float(summary["max"])
+        registry.records = [
+            RunRecord.from_dict(r) for r in data.get("records", [])
+        ]
+        return registry

@@ -1,0 +1,237 @@
+"""Observability runtime: the enable switch, scoped timers, run records.
+
+The whole package is built around one invariant: **when observability is
+disabled (the default), every instrumentation call site costs one
+module-attribute check and nothing else** — no allocation, no dictionary
+lookups, no registry mutation — so instrumented hot paths (the RK4
+stepper, the active-set loop, ``query_refined``) keep their tier-1
+timings.  :func:`enable` flips the process into recording mode against a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+
+Call-site vocabulary:
+
+- ``with timed("selection"): ...`` — a scoped wall-clock span.  Spans
+  nest: an inner span records under ``outer/inner``.  The object always
+  measures (``span.duration`` is valid even when disabled, two
+  ``perf_counter`` calls), but only *records* when enabled — so code can
+  use it as its one stopwatch API.
+- ``@timed("consolidation/preprocess")`` — same thing as a decorator.
+- ``with record_run("optimizer.solve", inputs={...}) as rec: ...`` —
+  captures one run end to end; yields ``None`` when disabled.  While a
+  record is active, completed spans attribute their duration to its
+  ``stages`` map and :func:`count` increments land in its ``counters``
+  map (innermost record wins when records nest).
+- ``count(name)`` / ``set_gauge(name, v)`` / ``observe(name, v)`` —
+  fire-and-forget instrument updates.
+
+State is process-local and single-threaded by design (see
+:mod:`repro.obs.metrics`).
+"""
+
+from __future__ import annotations
+
+import functools
+from time import perf_counter
+from typing import Callable, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.records import RunRecord
+
+_enabled: bool = False
+_registry: MetricsRegistry = MetricsRegistry()
+#: Active span names, innermost last (paths are joined with "/").
+_span_stack: list[str] = []
+#: Active run records, innermost last; parallel list of the span-stack
+#: depth at which each record started (for stage attribution).
+_record_stack: list[RunRecord] = []
+_record_depths: list[int] = []
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently recording."""
+    return _enabled
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Turn recording on (optionally into a caller-owned registry).
+
+    Returns the registry now receiving measurements; idempotent.
+    """
+    global _enabled, _registry
+    if registry is not None:
+        _registry = registry
+    _enabled = True
+    return _registry
+
+
+def disable() -> None:
+    """Turn recording off.  The registry keeps its accumulated data."""
+    global _enabled
+    _enabled = False
+    _span_stack.clear()
+    _record_stack.clear()
+    _record_depths.clear()
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry measurements are (or would be) recorded into."""
+    return _registry
+
+
+def reset() -> None:
+    """Clear the active registry (instruments, records, span state)."""
+    _registry.reset()
+    _span_stack.clear()
+    _record_stack.clear()
+    _record_depths.clear()
+
+
+# ---------------------------------------------------------------------- #
+# Fire-and-forget instrument updates
+# ---------------------------------------------------------------------- #
+
+
+def count(name: str, amount: float = 1.0) -> None:
+    """Increment counter ``name`` (and the innermost active record's)."""
+    if not _enabled:
+        return
+    _registry.counter(name).inc(amount)
+    if _record_stack:
+        _record_stack[-1].add_count(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value``."""
+    if not _enabled:
+        return
+    _registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one observation into histogram ``name``."""
+    if not _enabled:
+        return
+    _registry.histogram(name).observe(value)
+
+
+# ---------------------------------------------------------------------- #
+# Scoped timers
+# ---------------------------------------------------------------------- #
+
+
+class timed:
+    """Scoped wall-clock timer; context manager and decorator.
+
+    Always measures (``.duration`` in seconds after exit); records into
+    ``time.<path>`` histograms — and the active run record's stage map —
+    only while observability is enabled.
+    """
+
+    __slots__ = ("name", "duration", "_t0", "_recording")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.duration: Optional[float] = None
+        self._t0 = 0.0
+        self._recording = False
+
+    def __enter__(self) -> "timed":
+        self._recording = _enabled
+        if self._recording:
+            _span_stack.append(self.name)
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = perf_counter() - self._t0
+        self.duration = duration
+        if self._recording and _span_stack and _span_stack[-1] is self.name:
+            path = "/".join(_span_stack)
+            _span_stack.pop()
+            if _enabled:
+                _registry.histogram("time." + path).observe(duration)
+                if _record_stack:
+                    base = _record_depths[-1]
+                    record = _record_stack[-1]
+                    if len(_span_stack) >= base:
+                        rel = "/".join(_span_stack[base:] + [self.name])
+                        record.add_stage(rel, duration)
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with timed(self.name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+# ---------------------------------------------------------------------- #
+# Run records
+# ---------------------------------------------------------------------- #
+
+
+class record_run:
+    """Context manager capturing one run as a :class:`RunRecord`.
+
+    Yields the live record when enabled (mutate ``method``/``outcome``
+    freely inside the block), or ``None`` when disabled.  On exit the
+    total duration is stamped, failure is noted in ``outcome``, and the
+    record is appended to the registry's ``records`` list.
+    """
+
+    __slots__ = ("kind", "inputs", "method", "_record", "_t0")
+
+    def __init__(
+        self,
+        kind: str,
+        inputs: Optional[Mapping] = None,
+        method: Optional[str] = None,
+    ) -> None:
+        self.kind = kind
+        self.inputs = inputs
+        self.method = method
+        self._record: Optional[RunRecord] = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> Optional[RunRecord]:
+        if not _enabled:
+            return None
+        record = RunRecord(
+            kind=self.kind,
+            inputs=dict(self.inputs) if self.inputs else {},
+            method=self.method,
+        )
+        self._record = record
+        _record_stack.append(record)
+        _record_depths.append(len(_span_stack))
+        self._t0 = perf_counter()
+        return record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        record = self._record
+        if record is None:
+            return False
+        record.total_seconds = perf_counter() - self._t0
+        if exc_type is not None:
+            record.outcome.setdefault("error", exc_type.__name__)
+        if _record_stack and _record_stack[-1] is record:
+            _record_stack.pop()
+            _record_depths.pop()
+        if _enabled:
+            _registry.records.append(record)
+        return False
+
+
+def current_record() -> Optional[RunRecord]:
+    """The innermost in-flight record, if any."""
+    return _record_stack[-1] if _record_stack else None
+
+
+def last_record(kind: Optional[str] = None) -> Optional[RunRecord]:
+    """The most recently completed record (optionally of one ``kind``)."""
+    for record in reversed(_registry.records):
+        if kind is None or record.kind == kind:
+            return record
+    return None

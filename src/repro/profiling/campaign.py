@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, ProfilingError
 from repro.core.model import CoolerModel, NodeCoefficients, PowerModel, SystemModel
 from repro.power.server import ServerPowerModel
@@ -287,6 +288,7 @@ class ProfilingCampaign:
             t_cpu = state.t_cpu
             t_ac = state.t_ac
             p_ac = state.p_ac
+        obs.count("profiling.operating_points")
         reps = self.config.samples_per_point
         t_cpu_meas = np.mean(
             [self.temp_sensor.read_many(t_cpu) for _ in range(reps)], axis=0
@@ -379,17 +381,32 @@ class ProfilingCampaign:
 
     def run(self) -> ProfilingResult:
         """Run both sweeps and assemble the fitted system model."""
-        power_model, power_report, power_trace = self.profile_power()
-        nodes, node_reports, cooler, cooler_report, traces = (
-            self.profile_thermal()
-        )
-        system = SystemModel(
-            power=power_model,
-            nodes=tuple(nodes),
-            cooler=cooler,
-            t_max=self.t_max - self.config.thermal_guard_band,
-            capacities=tuple(pm.capacity for pm in self.power_models),
-        )
+        with obs.record_run(
+            "profiling.campaign",
+            inputs={
+                "machines": self.simulation.room.node_count,
+                "transient": self.config.transient,
+            },
+        ) as rec:
+            with obs.timed("power_sweep"):
+                power_model, power_report, power_trace = self.profile_power()
+            with obs.timed("thermal_sweep"):
+                nodes, node_reports, cooler, cooler_report, traces = (
+                    self.profile_thermal()
+                )
+            with obs.timed("assemble"):
+                system = SystemModel(
+                    power=power_model,
+                    nodes=tuple(nodes),
+                    cooler=cooler,
+                    t_max=self.t_max - self.config.thermal_guard_band,
+                    capacities=tuple(pm.capacity for pm in self.power_models),
+                )
+            if rec is not None:
+                rec.outcome.update(
+                    power_r_squared=power_report.r_squared,
+                    cooler_r_squared=cooler_report.r_squared,
+                )
         return ProfilingResult(
             system_model=system,
             power_report=power_report,

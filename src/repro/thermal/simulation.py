@@ -22,7 +22,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro import units
+from repro import obs, units
 from repro.errors import ConfigurationError, ConvergenceError, SimulationError
 from repro.thermal.cooling import CoolingUnit
 from repro.thermal.room import MachineRoom
@@ -232,6 +232,7 @@ class RoomSimulation:
             k1[2] + 2 * k2[2] + 2 * k3[2] + k4[2]
         )
         self.time += dt
+        obs.count("simulation.steps")
         if not (
             np.all(np.isfinite(self.t_cpu))
             and np.isfinite(self.t_room)
@@ -247,8 +248,9 @@ class RoomSimulation:
     def run(self, duration: float, dt: float = 0.5) -> None:
         """Advance the simulation by ``duration`` seconds."""
         steps = int(round(duration / dt))
-        for _ in range(steps):
-            self.step(dt)
+        with obs.timed("simulation/run"):
+            for _ in range(steps):
+                self.step(dt)
 
     def run_until_steady(
         self,
@@ -259,19 +261,20 @@ class RoomSimulation:
         """Integrate until all temperature derivatives fall below
         ``tolerance`` K/s, or raise :class:`ConvergenceError`."""
         elapsed = 0.0
-        while elapsed < max_duration:
-            self.step(dt)
-            elapsed += dt
-            d_cpu, d_box, d_room = self._derivatives(
-                self.t_cpu, self.t_box, self.t_room, self.t_ac
-            )
-            rates = [
-                float(np.max(np.abs(d_cpu))),
-                float(np.max(np.abs(d_box))),
-                abs(d_room),
-            ]
-            if max(rates) < tolerance and elapsed > 10.0 * dt:
-                return
+        with obs.timed("simulation/settle"):
+            while elapsed < max_duration:
+                self.step(dt)
+                elapsed += dt
+                d_cpu, d_box, d_room = self._derivatives(
+                    self.t_cpu, self.t_box, self.t_room, self.t_ac
+                )
+                rates = [
+                    float(np.max(np.abs(d_cpu))),
+                    float(np.max(np.abs(d_box))),
+                    abs(d_room),
+                ]
+                if max(rates) < tolerance and elapsed > 10.0 * dt:
+                    return
         raise ConvergenceError(
             f"room did not reach steady state within {max_duration} s"
         )
@@ -307,6 +310,7 @@ class RoomSimulation:
         point); if the required capacity violates an actuator limit it
         re-solves the consistent saturated mode.
         """
+        obs.count("simulation.steady_state_solves")
         p = (
             np.asarray(powers, dtype=float)
             if powers is not None

@@ -1,0 +1,91 @@
+"""Schema checks for the benchmark results artifacts.
+
+``benchmarks/conftest.py`` writes per-stage wall-clock attribution to
+``benchmarks/results/observability.json`` at the end of every bench
+session.  These tests pin that document's schema — both for a freshly
+generated registry and for any artifact already checked into (or left
+in) ``benchmarks/results/``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import obs
+from repro.core.optimizer import JointOptimizer
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.testbed.synthetic import make_system_model
+
+RESULTS_DIR = (
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+)
+
+
+@pytest.fixture
+def solved_registry():
+    """A registry populated by one instrumented solve."""
+    registry = obs.enable(MetricsRegistry())
+    try:
+        model = make_system_model(n=8)
+        JointOptimizer(model).solve(0.5 * sum(model.capacities))
+    finally:
+        obs.disable()
+    return registry
+
+
+def test_fresh_document_validates(solved_registry):
+    document = obs.bench_observability(solved_registry)
+    obs.validate_bench_observability(document)
+    # the stage timing map carries the solve pipeline's spans
+    for stage in ("selection", "closed_form", "actuation"):
+        assert document["stages"][stage]["count"] >= 1
+    assert document["runs"] >= 1
+
+
+def test_written_artifact_round_trips(solved_registry, tmp_path):
+    path = obs.write_bench_observability(
+        tmp_path / "observability.json", solved_registry
+    )
+    document = json.loads(path.read_text())
+    obs.validate_bench_observability(document)
+    assert document == obs.bench_observability(solved_registry)
+
+
+def test_stage_entries_are_complete(solved_registry):
+    document = obs.bench_observability(solved_registry)
+    for name, entry in document["stages"].items():
+        assert set(entry) == {"count", "total", "mean", "min", "max"}, name
+        assert entry["min"] <= entry["mean"] <= entry["max"]
+        assert entry["count"] > 0
+
+
+def test_existing_results_artifacts_validate():
+    """Whatever a previous bench session left behind must still parse."""
+    path = RESULTS_DIR / "observability.json"
+    if not path.exists():
+        pytest.skip("no bench session artifact present")
+    obs.validate_bench_observability(json.loads(path.read_text()))
+
+
+def test_validator_requires_schema_stamp():
+    with pytest.raises(ConfigurationError, match="schema"):
+        obs.validate_bench_observability(
+            {"stages": {}, "counters": {}, "gauges": {}, "runs": 0}
+        )
+
+
+def test_validator_rejects_inconsistent_stage_stats():
+    bad = {
+        "schema": obs.SCHEMA_VERSION,
+        "stages": {
+            "s": {"count": 2, "total": 1.0, "mean": 9.0,
+                  "min": 0.4, "max": 0.6},
+        },
+        "counters": {},
+        "gauges": {},
+        "runs": 0,
+    }
+    with pytest.raises(ConfigurationError):
+        obs.validate_bench_observability(bad)

@@ -1,8 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import main
+from repro.obs import MetricsRegistry
 
 
 class TestCli:
@@ -11,6 +15,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fig6" in out
         assert "headline" in out
+        assert "metrics" in out
 
     def test_unknown_target(self, capsys):
         assert main(["figZZ"]) == 2
@@ -35,3 +40,22 @@ class TestCli:
         assert main(["fig10"]) == 0
         out = capsys.readouterr().out
         assert "avg power" in out
+
+    def test_metrics_emits_valid_registry_json(self, capsys):
+        # distinct seed/machines: the default_context cache must not
+        # hand back an un-instrumented context from an earlier test
+        assert main(["metrics", "--machines", "6", "--seed", "99"]) == 0
+        out = capsys.readouterr().out
+        snapshot = json.loads(out)
+        rebuilt = MetricsRegistry.from_snapshot(snapshot)
+        assert rebuilt.snapshot() == snapshot
+        kinds = [record["kind"] for record in snapshot["records"]]
+        assert "optimizer.solve" in kinds
+        assert "profiling.campaign" in kinds
+        solve = next(
+            r for r in snapshot["records"] if r["kind"] == "optimizer.solve"
+        )
+        for stage in ("selection", "closed_form", "actuation"):
+            assert solve["stages"][stage] > 0.0
+        # the CLI restores the process-global switch
+        assert not obs.enabled()

@@ -2,8 +2,10 @@
 
 Docs rot silently; these tests keep the load-bearing parts honest: the
 module map in DESIGN.md must list only files that exist, the README
-quickstart must actually run, and the per-experiment index must point at
-real bench files.
+quickstart must actually run, the per-experiment index must point at
+real bench files, and **every fenced python block** in docs/api.md and
+docs/observability.md executes — cumulatively, top to bottom, the way a
+reader would paste them into one session.
 """
 
 import pathlib
@@ -13,6 +15,32 @@ import textwrap
 import pytest
 
 REPO = pathlib.Path(__file__).parent.parent
+
+
+def python_blocks(path: pathlib.Path) -> list[str]:
+    """All fenced ```python blocks of a markdown file, in order."""
+    return [
+        textwrap.dedent(block)
+        for block in re.findall(
+            r"```python\n(.*?)```", path.read_text(), re.DOTALL
+        )
+    ]
+
+
+def run_document_blocks(path: pathlib.Path, tmp_path, monkeypatch):
+    """Execute a document's python blocks in one shared namespace.
+
+    Blocks run cumulatively (later blocks may use names bound earlier),
+    with prints silenced and the cwd pointed at a scratch directory so
+    examples that write files stay out of the repo.
+    """
+    blocks = python_blocks(path)
+    assert blocks, f"{path.name} has no python examples"
+    monkeypatch.chdir(tmp_path)
+    namespace = {"print": lambda *a, **k: None}
+    for i, block in enumerate(blocks):
+        source = compile(block, f"<{path.name} block {i}>", "exec")
+        exec(source, namespace)
 
 
 class TestDesignDocument:
@@ -54,6 +82,42 @@ class TestReadme:
             in_benchmarks = (REPO / "benchmarks" / script).exists()
             hits = list((REPO / "src").rglob(script))
             assert in_examples or in_benchmarks or hits, script
+
+
+class TestApiDocument:
+    def test_every_python_block_executes(self, tmp_path, monkeypatch):
+        run_document_blocks(REPO / "docs" / "api.md", tmp_path, monkeypatch)
+
+    def test_documented_selection_methods_exist(self):
+        from repro.core.optimizer import JointOptimizer
+        from repro.testbed.synthetic import make_system_model
+
+        text = (REPO / "docs" / "api.md").read_text()
+        model = make_system_model(n=4)
+        for method in ("index", "exact", "brute"):
+            assert f"`{method}`" in text, method
+            JointOptimizer(model, selection=method)  # doc claim holds
+        assert "query_refined" in text
+
+
+class TestObservabilityDocument:
+    def test_every_python_block_executes(self, tmp_path, monkeypatch):
+        from repro import obs
+
+        try:
+            run_document_blocks(
+                REPO / "docs" / "observability.md", tmp_path, monkeypatch
+            )
+        finally:
+            obs.disable()  # belt and braces: never leak the global switch
+        assert not obs.enabled(), (
+            "observability.md must leave recording disabled "
+            "(end the walkthrough with obs.disable())"
+        )
+
+    def test_linked_from_readme_and_api(self):
+        assert "docs/observability.md" in (REPO / "README.md").read_text()
+        assert "observability.md" in (REPO / "docs" / "api.md").read_text()
 
 
 class TestExperimentsDocument:
