@@ -4,16 +4,20 @@ The acceptance bar for :mod:`repro.obs` is that the disabled mode is
 free enough that tier-1 timings are unaffected, and the enabled mode
 stays under a few percent on the paper-scale solve path.  These benches
 measure both sides on the profiled 20-machine testbed so the trade-off
-stays visible in the perf trajectory.
+stays visible in the perf trajectory.  PR 2 adds the tracing and
+watchdog switches; they are pinned separately (fully dark, metrics
+only, metrics+tracing, metrics+tracing+watchdog) on the solve and the
+controller-replan paths.
 
 Note the session-wide ``observability`` fixture (see ``conftest.py``)
-keeps recording on for every other bench; here it is toggled explicitly
-around each measurement and restored afterwards.
+keeps recording on for every other bench; here the switches are
+toggled explicitly around each measurement and restored afterwards.
 """
 
 import pytest
 
 from repro import obs
+from repro.core.controller import RuntimeController
 
 
 @pytest.fixture
@@ -24,20 +28,49 @@ def paper_load(context) -> float:
 
 @pytest.fixture
 def restore_enabled():
-    """Restore the session's observability switch after the bench."""
+    """Restore every observability switch after the bench."""
     was_enabled = obs.enabled()
+    was_tracing = obs.tracing_enabled()
+    previous_buffer = obs.get_trace_buffer()
+    previous_watchdog = obs.watchdog.active()
     yield
     if was_enabled:
         obs.enable()
     else:
         obs.disable()
+    obs.enable_tracing(previous_buffer)
+    if not was_tracing:
+        obs.disable_tracing()
+    if previous_watchdog is not None:
+        obs.watchdog.install(previous_watchdog)
+    else:
+        obs.watchdog.uninstall()
+
+
+def _all_off():
+    obs.disable()
+    obs.disable_tracing()
+    obs.watchdog.uninstall()
+
+
+@pytest.fixture
+def replan(context, paper_load):
+    """A controller forced to replan from scratch on every call."""
+    controller = RuntimeController(context.optimizer, min_dwell=0.0)
+
+    def _replan():
+        controller._plan = None  # drop the plan: next observe replans
+        return controller.observe(0.0, paper_load)
+
+    _replan()  # warm the consolidation index
+    return _replan
 
 
 def test_solve_observability_disabled(
     benchmark, context, paper_load, restore_enabled
 ):
     context.optimizer.solve(paper_load)  # warm the consolidation index
-    obs.disable()
+    _all_off()
     benchmark(context.optimizer.solve, paper_load)
 
 
@@ -45,13 +78,49 @@ def test_solve_observability_enabled(
     benchmark, context, paper_load, restore_enabled
 ):
     context.optimizer.solve(paper_load)  # warm the consolidation index
+    _all_off()
     obs.enable()
     benchmark(context.optimizer.solve, paper_load)
+
+
+def test_solve_tracing_enabled(
+    benchmark, context, paper_load, restore_enabled
+):
+    context.optimizer.solve(paper_load)  # warm the consolidation index
+    _all_off()
+    obs.enable()
+    obs.enable_tracing(obs.TraceBuffer())
+    benchmark(context.optimizer.solve, paper_load)
+
+
+def test_solve_watchdog_enabled(
+    benchmark, context, paper_load, restore_enabled
+):
+    context.optimizer.solve(paper_load)  # warm the consolidation index
+    _all_off()
+    obs.enable()
+    obs.enable_tracing(obs.TraceBuffer())
+    obs.watchdog.install(obs.WatchdogSet(t_max=context.model.t_max))
+    benchmark(context.optimizer.solve, paper_load)
+
+
+def test_replan_observability_disabled(benchmark, replan, restore_enabled):
+    _all_off()
+    benchmark(replan)
+
+
+def test_replan_watchdog_enabled(benchmark, replan, restore_enabled):
+    _all_off()
+    obs.enable()
+    obs.enable_tracing(obs.TraceBuffer())
+    obs.watchdog.install(obs.WatchdogSet())
+    benchmark(replan)
 
 
 def test_steady_state_observability_enabled(
     benchmark, context, restore_enabled
 ):
     simulation = context.testbed.simulation
+    _all_off()
     obs.enable()
     benchmark(simulation.steady_state)

@@ -27,13 +27,15 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session", autouse=True)
 def observability():
-    """Record per-stage timings for the whole bench session."""
+    """Record per-stage timings (and a trace) for the whole bench session."""
     registry = obs.enable()
+    buffer = obs.enable_tracing(obs.TraceBuffer())
     yield registry
     RESULTS_DIR.mkdir(exist_ok=True)
     obs.write_bench_observability(
-        RESULTS_DIR / "observability.json", registry
+        RESULTS_DIR / "observability.json", registry, trace=buffer
     )
+    obs.disable_tracing()
     obs.disable()
 
 

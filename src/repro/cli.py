@@ -10,6 +10,10 @@ Usage::
     repro solve --load 400          # run the optimizer on a profiled rack
     repro solve --load 400 --model model.json   # ... on a saved model
     repro metrics --load 400        # instrumented run + registry dump (JSON)
+    repro trace --out trace.jsonl   # traced + watched controller scenario
+    repro trace --chrome trace.json # ... also export for chrome://tracing
+    repro dashboard --trace trace.jsonl   # render a recorded trace
+    repro dashboard                 # run the scenario and render it live
 
 Heavy contexts (profiling campaigns) are cached per process, so ``repro
 all`` profiles the testbed once.
@@ -70,7 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         help="figure id (fig1..fig10, headline, algorithms), 'all', "
-        "'list', 'profile', 'solve', or 'metrics'",
+        "'list', 'profile', 'solve', 'metrics', 'trace', or 'dashboard'",
     )
     parser.add_argument(
         "--seed", type=int, default=2012, help="testbed build seed"
@@ -106,7 +110,78 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render figure targets as ASCII charts instead of tables",
     )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="where to write the JSONL trace (trace target only; "
+        "default trace.jsonl)",
+    )
+    parser.add_argument(
+        "--chrome",
+        default=None,
+        help="also export the trace in Chrome trace-event format to this "
+        "path (trace target only)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        help="render this recorded JSONL trace instead of running a new "
+        "scenario (dashboard target only)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=("warn", "raise"),
+        default="warn",
+        help="watchdog violation policy for the traced scenario "
+        "(trace/dashboard targets only)",
+    )
     return parser
+
+
+def _run_traced_scenario(
+    seed: int, machines: int, load: Optional[float], policy: str
+):
+    """One fully observed controller run: metrics + tracing + watchdogs.
+
+    Drives a :class:`~repro.core.controller.RuntimeController` over a
+    diurnal day (peaking at ``load``, default 70% of capacity), then
+    stamps the watchdog's headroom summary into the trace so the
+    exported file is self-contained.  Returns ``(buffer, watchdog)``
+    and restores every observability switch to its prior state.
+    """
+    from repro import obs
+    from repro.core.controller import RuntimeController
+    from repro.workload.traces import diurnal_trace
+
+    ctx = default_context(seed=seed, n_machines=machines)
+    capacity = sum(ctx.model.capacities)
+    peak = load if load is not None else 0.7 * capacity
+    trace = diurnal_trace(base=0.3 * peak, peak=peak, duration=86400.0)
+
+    was_enabled = obs.enabled()
+    was_tracing = obs.tracing_enabled()
+    previous_buffer = obs.get_trace_buffer()
+    previous_watchdog = obs.watchdog.active()
+    obs.enable()
+    buffer = obs.enable_tracing(obs.TraceBuffer())
+    wd = obs.watchdog.install(
+        obs.WatchdogSet(policy=policy, t_max=ctx.model.t_max)
+    )
+    try:
+        controller = RuntimeController(ctx.optimizer, min_dwell=1800.0)
+        controller.run_trace(trace, dt=300.0)
+        wd.emit_summary(buffer)
+    finally:
+        obs.enable_tracing(previous_buffer)
+        if not was_tracing:
+            obs.disable_tracing()
+        if previous_watchdog is not None:
+            obs.watchdog.install(previous_watchdog)
+        else:
+            obs.watchdog.uninstall()
+        if not was_enabled:
+            obs.disable()
+    return buffer, wd
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -117,8 +192,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.target == "list":
         for name in [*standalone, *contextual, "all", "profile", "solve",
-                     "report", "metrics"]:
+                     "report", "metrics", "trace", "dashboard"]:
             print(name)
+        return 0
+
+    if args.target == "trace":
+        import json
+        import pathlib
+
+        buffer, wd = _run_traced_scenario(
+            args.seed, args.machines, args.load, args.policy
+        )
+        out = pathlib.Path(args.out or "trace.jsonl")
+        out.write_text(buffer.to_jsonl())
+        summary = buffer.summary()
+        print(
+            f"trace written to {out}: {summary['spans']} spans, "
+            f"{summary['events']} events, "
+            f"{wd.violation_count} constraint violations"
+        )
+        if args.chrome:
+            chrome = pathlib.Path(args.chrome)
+            chrome.write_text(json.dumps(buffer.to_chrome_trace()))
+            print(f"chrome://tracing export written to {chrome}")
+        return 0
+
+    if args.target == "dashboard":
+        import pathlib
+
+        from repro.analysis.report import render_dashboard
+        from repro.obs import TraceBuffer
+
+        if args.trace:
+            buffer = TraceBuffer.from_jsonl(
+                pathlib.Path(args.trace).read_text()
+            )
+            print(render_dashboard(buffer))
+        else:
+            buffer, wd = _run_traced_scenario(
+                args.seed, args.machines, args.load, args.policy
+            )
+            print(render_dashboard(buffer, watchdog=wd))
         return 0
 
     if args.target == "metrics":

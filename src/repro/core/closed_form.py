@@ -38,6 +38,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import obs
+from repro.obs import trace as _trace
+from repro.obs import watchdog as _watchdog
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.core.model import SystemModel
 
@@ -216,7 +218,7 @@ def solve_closed_form(
         t_sp = model.cooler.set_point_for(t_ac, total_server)
         cooling = model.cooler.cooling_power(t_sp, t_ac)
 
-    return ClosedFormSolution(
+    solution = ClosedFormSolution(
         loads=loads,
         on_ids=tuple(on),
         active_ids=tuple(active),
@@ -230,6 +232,10 @@ def solve_closed_form(
         clamped=clamped,
         repaired=repaired,
     )
+    wd = _watchdog._active
+    if wd is not None:
+        wd.check_solution(model, solution, total_load)
+    return solution
 
 
 def _validate(
@@ -291,6 +297,13 @@ def _active_set_loads(
     remaining = total_load
     for _ in range(2 * len(on) + 1):
         obs.count("closed_form.active_set_rounds")
+        if _trace._tracing:
+            _trace.add_event(
+                "closed_form.active_set_round",
+                active=len(active),
+                pinned=len(pinned_at_cap),
+                remaining=remaining,
+            )
         if not active:
             if remaining > _TOL:
                 raise InfeasibleError(

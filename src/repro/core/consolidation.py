@@ -235,13 +235,16 @@ class ConsolidationIndex:
         InfeasibleError
             If no tabulated status can serve ``load``.
         """
-        obs.count("consolidation.queries")
-        pos = bisect.bisect_right(self._status_lmax, load)
-        if pos >= len(self.all_status):
-            raise InfeasibleError(
-                f"no status can serve load {load}; cluster too small"
-            )
-        return self.on_set(self.all_status[pos])
+        with obs.timed("consolidation/query"):
+            obs.count("consolidation.queries")
+            pos = bisect.bisect_right(self._status_lmax, load)
+            if pos >= len(self.all_status):
+                raise InfeasibleError(
+                    f"no status can serve load {load}; cluster too small"
+                )
+            chosen = self.on_set(self.all_status[pos])
+            obs.set_span_attributes(load=load, machines_on=len(chosen))
+        return chosen
 
     def query_refined(
         self, load: float, window: Optional[int] = None
@@ -256,41 +259,45 @@ class ConsolidationIndex:
         quantization gap while keeping the query logarithmic plus a small
         constant amount of work.
         """
-        n = len(self.pairs)
-        if window is None:
-            window = 4 * n
-        pos = bisect.bisect_right(self._status_lmax, load)
-        if pos >= len(self.all_status):
-            raise InfeasibleError(
-                f"no status can serve load {load}; cluster too small"
-            )
-        best_subset: Optional[list[int]] = None
-        best_power = float("inf")
-        seen: set[tuple[int, ...]] = set()
-        i = pos
-        while i < len(self.all_status) and len(seen) < window:
-            status = self.all_status[i]
-            i += 1
-            subset = tuple(self.on_set(status))
-            if subset in seen:
-                continue
-            seen.add(subset)
-            if self.capacities is not None:
-                if sum(self.capacities[i] for i in subset) + 1e-9 < load:
+        with obs.timed("consolidation/query"):
+            n = len(self.pairs)
+            if window is None:
+                window = 4 * n
+            pos = bisect.bisect_right(self._status_lmax, load)
+            if pos >= len(self.all_status):
+                raise InfeasibleError(
+                    f"no status can serve load {load}; cluster too small"
+                )
+            best_subset: Optional[list[int]] = None
+            best_power = float("inf")
+            seen: set[tuple[int, ...]] = set()
+            i = pos
+            while i < len(self.all_status) and len(seen) < window:
+                status = self.all_status[i]
+                i += 1
+                subset = tuple(self.on_set(status))
+                if subset in seen:
                     continue
-            t = ratio(self.pairs, subset, load)
-            if self.t_min is not None and t < self.t_min - 1e-12:
-                continue
-            t_eff = t if self.t_max is None else min(t, self.t_max)
-            power = len(subset) * self.w2 - self.rho * t_eff + self.theta0
-            if power < best_power - 1e-12:
-                best_power = power
-                best_subset = list(subset)
-        obs.count("consolidation.refined_queries")
-        obs.count("consolidation.query_refined_rescored", len(seen))
-        if best_subset is None:
-            raise InfeasibleError(
-                f"no feasible status for load {load} within the supply band"
+                seen.add(subset)
+                if self.capacities is not None:
+                    if sum(self.capacities[i] for i in subset) + 1e-9 < load:
+                        continue
+                t = ratio(self.pairs, subset, load)
+                if self.t_min is not None and t < self.t_min - 1e-12:
+                    continue
+                t_eff = t if self.t_max is None else min(t, self.t_max)
+                power = len(subset) * self.w2 - self.rho * t_eff + self.theta0
+                if power < best_power - 1e-12:
+                    best_power = power
+                    best_subset = list(subset)
+            obs.count("consolidation.refined_queries")
+            obs.count("consolidation.query_refined_rescored", len(seen))
+            if best_subset is None:
+                raise InfeasibleError(
+                    f"no feasible status for load {load} within the supply band"
+                )
+            obs.set_span_attributes(
+                load=load, rescored=len(seen), machines_on=len(best_subset)
             )
         return best_subset
 

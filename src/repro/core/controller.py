@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro import obs
+from repro.obs import watchdog as _watchdog
 from repro.core.optimizer import JointOptimizer, OptimizationResult
 from repro.errors import ConfigurationError, InfeasibleError
 
@@ -137,9 +138,17 @@ class RuntimeController:
         )
         obs.count("controller.watchdog_trips")
         with obs.timed("controller/replan"):
+            obs.set_span_attributes(
+                time=time, offered_load=self._planned_for,
+                planned_load=self._planned_for,
+                reason="thermal watchdog",
+            )
             result = self.optimizer.solve(
                 self._planned_for, exclude=sorted(self.failed)
             )
+        wd = _watchdog._active
+        if wd is not None:
+            wd.check_replan(self, result, self._planned_for)
         self._plan = result
         self._last_change = time
         self.reconfigurations += 1
@@ -210,6 +219,13 @@ class RuntimeController:
             # safe) plan rather than flapping.
             self.suppressed += 1
             obs.count("controller.suppressed")
+            obs.add_event(
+                "replan.suppressed",
+                time=time,
+                offered_load=load,
+                reason=reason,
+                dwell_remaining=self.min_dwell - (time - self._last_change),
+            )
             return None
         capacity = sum(
             c
@@ -222,10 +238,37 @@ class RuntimeController:
                 f"offered load {load:.1f} exceeds surviving capacity "
                 f"{capacity:.1f}"
             )
-        with obs.timed("controller/replan"):
-            result = self.optimizer.solve(
-                target, exclude=sorted(self.failed)
-            )
+        try:
+            with obs.timed("controller/replan"):
+                obs.set_span_attributes(
+                    time=time, offered_load=load, planned_load=target,
+                    reason=reason,
+                )
+                result = self.optimizer.solve(
+                    target, exclude=sorted(self.failed)
+                )
+        except InfeasibleError as exc:
+            obs.count("controller.replan_infeasible")
+            wd = _watchdog._active
+            if wd is not None:
+                wd.notify_infeasible(str(exc), time=time, offered_load=load)
+            else:
+                obs.add_event(
+                    "constraint.violation",
+                    monitor="replan",
+                    metric="replan.feasible",
+                    message=str(exc),
+                    time=time,
+                    offered_load=load,
+                )
+            if self._plan is None:
+                raise
+            # Keep the previous (still-valid) plan active rather than
+            # leaving the room uncontrolled.
+            return None
+        wd = _watchdog._active
+        if wd is not None:
+            wd.check_replan(self, result, load)
         self._plan = result
         self._planned_for = target
         self._last_change = time

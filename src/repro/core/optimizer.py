@@ -336,6 +336,14 @@ class JointOptimizer:
                     ]
                     method = "all"
             solution = solve_closed_form(self.model, chosen, total_load)
+            obs.set_span_attributes(
+                method=method,
+                machines_on=len(solution.on_ids),
+                t_ac=solution.t_ac,
+                t_sp=solution.t_sp,
+                clamped=solution.clamped,
+                repaired=solution.repaired,
+            )
             if rec is not None:
                 rec.method = method
                 rec.outcome.update(

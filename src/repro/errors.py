@@ -33,6 +33,16 @@ class ConvergenceError(ReproError):
     """An iterative procedure (simulation or solver) failed to converge."""
 
 
+class ConstraintViolationError(ReproError):
+    """A runtime watchdog caught a violated paper constraint.
+
+    Raised only when a :class:`repro.obs.watchdog.WatchdogSet` runs with
+    the ``"raise"`` policy; the default ``"warn"`` policy records the
+    violation (counter, headroom gauge, ``constraint.violation`` trace
+    event) and issues a :class:`UserWarning` instead.
+    """
+
+
 class ProfilingError(ReproError):
     """A profiling campaign produced data unusable for regression.
 

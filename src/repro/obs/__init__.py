@@ -1,25 +1,31 @@
 """repro.obs — process-local observability for the reproduction.
 
-Metrics (counters, gauges, histograms), scoped wall-clock timers, and
-structured per-run records for the optimizer, the thermal simulation,
-the profiling campaign, and the runtime controller — behind a
-near-zero-cost disabled mode so tier-1 timings are unaffected.
+Metrics (counters, gauges, histograms), scoped wall-clock timers,
+structured per-run records, hierarchical event tracing, and
+paper-constraint watchdogs for the optimizer, the thermal simulation,
+the profiling campaign, and the runtime controller — behind
+near-zero-cost disabled modes so tier-1 timings are unaffected.
 
 Quickstart::
 
     from repro import obs
 
-    registry = obs.enable()            # start recording
+    registry = obs.enable()            # start recording metrics
+    buffer = obs.enable_tracing()      # ... and a span/event timeline
+    obs.watchdog.install()             # ... and constraint monitors
     ...                                # run instrumented code
     record = obs.last_record("optimizer.solve")
     print(record.stages)               # {"selection": ..., "closed_form": ...}
-    print(registry.to_json(indent=2))  # the whole registry
+    print(buffer.to_jsonl()[:80])      # the trace, exportable
+    obs.disable_tracing()
+    obs.watchdog.uninstall()
     obs.disable()
 
-See ``docs/observability.md`` for the full API, the record schema, the
-exporter formats, and overhead expectations.
+See ``docs/observability.md`` for the full API, the record and trace
+schemas, the exporter formats, and overhead expectations.
 """
 
+from repro.obs import trace, watchdog
 from repro.obs.export import (
     bench_observability,
     validate_bench_observability,
@@ -52,6 +58,29 @@ from repro.obs.runtime import (
     set_gauge,
     timed,
 )
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceBuffer,
+    TraceEvent,
+    TraceSpan,
+    add_event,
+    disable_tracing,
+    enable_tracing,
+    get_trace_buffer,
+    reset_trace,
+    set_span_attributes,
+    tracing_enabled,
+)
+from repro.obs.watchdog import (
+    EnergyBalanceMonitor,
+    KKTOptimalityMonitor,
+    Monitor,
+    Reading,
+    ThermalHeadroomMonitor,
+    ThroughputMonitor,
+    Violation,
+    WatchdogSet,
+)
 
 __all__ = [
     # switches / registry access
@@ -83,4 +112,27 @@ __all__ = [
     "bench_observability",
     "write_bench_observability",
     "validate_bench_observability",
+    # tracing
+    "trace",
+    "TRACE_SCHEMA_VERSION",
+    "TraceBuffer",
+    "TraceSpan",
+    "TraceEvent",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "get_trace_buffer",
+    "reset_trace",
+    "add_event",
+    "set_span_attributes",
+    # watchdogs
+    "watchdog",
+    "WatchdogSet",
+    "Monitor",
+    "Reading",
+    "Violation",
+    "ThermalHeadroomMonitor",
+    "ThroughputMonitor",
+    "EnergyBalanceMonitor",
+    "KKTOptimalityMonitor",
 ]

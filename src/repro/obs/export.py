@@ -18,16 +18,23 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Mapping, Union
+from typing import Mapping, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.obs.metrics import SCHEMA_VERSION, MetricsRegistry
+from repro.obs.trace import TraceBuffer
 
 #: Keys every histogram summary must carry.
 _SUMMARY_KEYS = ("count", "total", "mean", "min", "max")
 
+#: Keys the optional trace summary must carry (all non-negative ints).
+_TRACE_KEYS = ("schema", "spans", "events", "dropped_spans",
+               "dropped_events", "violations")
 
-def bench_observability(registry: MetricsRegistry) -> dict:
+
+def bench_observability(
+    registry: MetricsRegistry, trace: Optional[TraceBuffer] = None
+) -> dict:
     """The bench-results observability document for ``registry``.
 
     Shape (see ``docs/observability.md`` for the worked schema)::
@@ -37,25 +44,36 @@ def bench_observability(registry: MetricsRegistry) -> dict:
           "stages": {"<span path>": {count,total,mean,min,max}, ...},
           "counters": {"<name>": <total>, ...},
           "gauges": {"<name>": <value>, ...},
-          "runs": <number of completed run records>
+          "runs": <number of completed run records>,
+          "trace": {schema, spans, events, dropped_spans,
+                    dropped_events, violations}        # when traced
         }
+
+    The ``trace`` section appears only when a non-empty
+    :class:`~repro.obs.trace.TraceBuffer` is passed — the bench session
+    includes it when any bench ran with tracing on.
     """
     snapshot = registry.snapshot()
-    return {
+    document = {
         "schema": snapshot["schema"],
         "stages": registry.timings(),
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
         "runs": len(snapshot["records"]),
     }
+    if trace is not None and len(trace):
+        document["trace"] = trace.summary()
+    return document
 
 
 def write_bench_observability(
-    path: Union[str, pathlib.Path], registry: MetricsRegistry
+    path: Union[str, pathlib.Path],
+    registry: MetricsRegistry,
+    trace: Optional[TraceBuffer] = None,
 ) -> pathlib.Path:
     """Write the per-stage timing document to ``path``; returns it."""
     target = pathlib.Path(path)
-    document = bench_observability(registry)
+    document = bench_observability(registry, trace=trace)
     validate_bench_observability(document)
     target.write_text(json.dumps(document, indent=2) + "\n")
     return target
@@ -116,3 +134,16 @@ def validate_bench_observability(document: Mapping) -> None:
     runs = document.get("runs")
     if not isinstance(runs, int) or runs < 0:
         raise ConfigurationError("'runs' must be a non-negative int")
+    if "trace" in document:
+        trace = document["trace"]
+        if not isinstance(trace, Mapping):
+            raise ConfigurationError("'trace' summary must be a map")
+        missing = [k for k in _TRACE_KEYS if k not in trace]
+        if missing:
+            raise ConfigurationError(f"trace summary missing {missing}")
+        for key in _TRACE_KEYS:
+            value = trace[key]
+            if not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"trace {key!r} must be a non-negative int"
+                )

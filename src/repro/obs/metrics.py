@@ -25,6 +25,8 @@ round-trip through :meth:`MetricsRegistry.from_snapshot`.
 from __future__ import annotations
 
 import json
+import random
+import zlib
 from typing import Mapping, Optional
 
 from repro.errors import ConfigurationError
@@ -35,7 +37,8 @@ from repro.obs.records import RunRecord
 SCHEMA_VERSION = 1
 
 #: Histograms keep at most this many raw samples (count/total/min/max
-#: stay exact beyond it); bounds memory for long campaigns.
+#: stay exact beyond it; retention degrades to uniform reservoir
+#: sampling); bounds memory for long campaigns.
 MAX_HISTOGRAM_SAMPLES = 4096
 
 
@@ -77,11 +80,17 @@ class Histogram:
     """A distribution of observations (durations, sizes, gaps).
 
     Tracks exact ``count``/``total``/``min``/``max`` for any number of
-    observations and keeps the first :data:`MAX_HISTOGRAM_SAMPLES` raw
-    samples for percentile queries.
+    observations and retains up to :data:`MAX_HISTOGRAM_SAMPLES` raw
+    samples for percentile queries.  Past the cap, retention switches to
+    reservoir sampling (Vitter's Algorithm R) so the retained set stays
+    a uniform sample of *every* observation — keeping only the first N
+    would bias quantiles toward run startup and hide late-run outliers.
+    The reservoir uses a private :class:`random.Random` seeded from the
+    histogram name, so results are deterministic and the global
+    ``random`` state is untouched.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_samples")
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_rng")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -90,6 +99,7 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self._samples: list[float] = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -101,6 +111,10 @@ class Histogram:
             self.max = value
         if len(self._samples) < MAX_HISTOGRAM_SAMPLES:
             self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < MAX_HISTOGRAM_SAMPLES:
+                self._samples[slot] = value
 
     @property
     def mean(self) -> float:

@@ -34,6 +34,7 @@ import functools
 from time import perf_counter
 from typing import Callable, Mapping, Optional
 
+from repro.obs import trace as _trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.records import RunRecord
 
@@ -127,24 +128,32 @@ class timed:
     only while observability is enabled.
     """
 
-    __slots__ = ("name", "duration", "_t0", "_recording")
+    __slots__ = ("name", "duration", "_t0", "_recording", "_traced",
+                 "_trace_id")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.duration: Optional[float] = None
         self._t0 = 0.0
         self._recording = False
+        self._traced = False
+        self._trace_id: Optional[int] = None
 
     def __enter__(self) -> "timed":
         self._recording = _enabled
         if self._recording:
             _span_stack.append(self.name)
+        self._traced = _trace._tracing
+        if self._traced:
+            self._trace_id = _trace.begin_span(self.name)
         self._t0 = perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         duration = perf_counter() - self._t0
         self.duration = duration
+        if self._traced:
+            _trace.end_span(self._trace_id)
         if self._recording and _span_stack and _span_stack[-1] is self.name:
             path = "/".join(_span_stack)
             _span_stack.pop()
@@ -181,7 +190,8 @@ class record_run:
     record is appended to the registry's ``records`` list.
     """
 
-    __slots__ = ("kind", "inputs", "method", "_record", "_t0")
+    __slots__ = ("kind", "inputs", "method", "_record", "_t0", "_traced",
+                 "_trace_id")
 
     def __init__(
         self,
@@ -194,8 +204,15 @@ class record_run:
         self.method = method
         self._record: Optional[RunRecord] = None
         self._t0 = 0.0
+        self._traced = False
+        self._trace_id: Optional[int] = None
 
     def __enter__(self) -> Optional[RunRecord]:
+        self._traced = _trace._tracing
+        if self._traced:
+            self._trace_id = _trace.begin_span(
+                self.kind, **(dict(self.inputs) if self.inputs else {})
+            )
         if not _enabled:
             return None
         record = RunRecord(
@@ -210,6 +227,8 @@ class record_run:
         return record
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._traced:
+            _trace.end_span(self._trace_id)
         record = self._record
         if record is None:
             return False

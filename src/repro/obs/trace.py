@@ -1,0 +1,553 @@
+"""Structured event tracing: hierarchical spans and a trace buffer.
+
+While :mod:`repro.obs.metrics` answers *how much* (counters, gauges,
+duration histograms), tracing answers *what happened, in order*: every
+instrumented stage becomes a :class:`TraceSpan` with a span id, a parent
+id, and monotonic start/end timestamps, and point-in-time facts (an
+active-set round, a suppressed replan, a constraint violation) become
+:class:`TraceEvent` entries attached to the innermost open span.  One
+controller run therefore yields one timeline: the replan spans in
+sequence, each carrying its hysteresis/dwell decision as events.
+
+Tracing follows the same contract as the metrics switch: **off by
+default, and one module-attribute check per call site while off**.  It
+is toggled independently of metrics (:func:`enable_tracing`), so a
+caller can record a timeline without paying for histograms or vice
+versa.  :class:`repro.obs.runtime.timed` and
+:class:`~repro.obs.runtime.record_run` open spans automatically while
+tracing is on, so all existing instrumentation points show up in the
+timeline without new call sites.
+
+Two interchange formats are supported, both lossless:
+
+- **JSONL** — a header line followed by one JSON object per span/event;
+  the native on-disk format (``repro trace`` writes it, ``repro
+  dashboard`` reads it).
+- **Chrome trace** — the ``chrome://tracing`` / Perfetto JSON array
+  format.  Spans become complete (``"ph": "X"``) events, trace events
+  become instants (``"ph": "i"``); exact float timestamps and span
+  topology ride along in ``args`` so the round-trip back through
+  :meth:`TraceBuffer.from_chrome_trace` is exact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+#: Version stamp embedded in exported traces.
+TRACE_SCHEMA_VERSION = 1
+
+#: Default buffer bounds.  Past the cap, new spans/events are counted as
+#: dropped rather than recorded, bounding memory for long campaigns
+#: (a settle run alone can take ~70k simulation steps).
+MAX_TRACE_SPANS = 100_000
+MAX_TRACE_EVENTS = 100_000
+
+_JSONL_HEADER_KIND = "repro.trace"
+
+
+@dataclass
+class TraceSpan:
+    """One timed, named region of a run.
+
+    Attributes
+    ----------
+    span_id:
+        Unique (per buffer) integer id, assigned at begin time.
+    parent_id:
+        Span id of the enclosing open span, or ``None`` for a root.
+    name:
+        Stage name (same vocabulary as ``obs.timed`` spans).
+    start, end:
+        Monotonic timestamps (``perf_counter`` seconds); ``end`` is
+        ``None`` while the span is open.
+    attributes:
+        JSON-safe key/value annotations (inputs, decisions, outcomes).
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: Optional[float] = None
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds from start to end (``None`` while open)."""
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TraceSpan":
+        return cls(
+            span_id=int(data["span_id"]),
+            parent_id=(
+                None if data.get("parent_id") is None
+                else int(data["parent_id"])
+            ),
+            name=data["name"],
+            start=float(data["start"]),
+            end=(None if data.get("end") is None else float(data["end"])),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+
+@dataclass
+class TraceEvent:
+    """One point-in-time structured fact, attached to a span (or root).
+
+    The ``name`` is dotted and stable (``constraint.violation``,
+    ``replan.suppressed``, ``closed_form.active_set_round``); consumers
+    filter on it.
+    """
+
+    name: str
+    time: float
+    span_id: Optional[int] = None
+    attributes: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "event",
+            "name": self.name,
+            "time": self.time,
+            "span_id": self.span_id,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TraceEvent":
+        return cls(
+            name=data["name"],
+            time=float(data["time"]),
+            span_id=(
+                None if data.get("span_id") is None else int(data["span_id"])
+            ),
+            attributes=dict(data.get("attributes", {})),
+        )
+
+
+class TraceBuffer:
+    """In-memory store of spans and events, with bounded capacity."""
+
+    def __init__(
+        self,
+        max_spans: int = MAX_TRACE_SPANS,
+        max_events: int = MAX_TRACE_EVENTS,
+    ) -> None:
+        if max_spans <= 0 or max_events <= 0:
+            raise ConfigurationError(
+                "trace buffer capacities must be positive"
+            )
+        self.max_spans = max_spans
+        self.max_events = max_events
+        self.spans: list[TraceSpan] = []
+        self.events: list[TraceEvent] = []
+        self.dropped_spans = 0
+        self.dropped_events = 0
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.events)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def start_span(
+        self,
+        name: str,
+        parent_id: Optional[int] = None,
+        attributes: Optional[Mapping] = None,
+        start: Optional[float] = None,
+    ) -> Optional[TraceSpan]:
+        """Open a span; returns ``None`` when the buffer is full."""
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return None
+        span = TraceSpan(
+            span_id=self._next_id,
+            parent_id=parent_id,
+            name=name,
+            start=perf_counter() if start is None else start,
+            attributes=dict(attributes) if attributes else {},
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def add_event(
+        self,
+        name: str,
+        span_id: Optional[int] = None,
+        attributes: Optional[Mapping] = None,
+        time: Optional[float] = None,
+    ) -> Optional[TraceEvent]:
+        """Record an instant event; returns ``None`` when full."""
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return None
+        event = TraceEvent(
+            name=name,
+            time=perf_counter() if time is None else time,
+            span_id=span_id,
+            attributes=dict(attributes) if attributes else {},
+        )
+        self.events.append(event)
+        return event
+
+    def clear(self) -> None:
+        """Drop every span and event (ids keep increasing)."""
+        self.spans.clear()
+        self.events.clear()
+        self.dropped_spans = 0
+        self.dropped_events = 0
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def spans_named(self, name: str) -> list[TraceSpan]:
+        """All spans with exactly this name, in start order."""
+        return [s for s in self.spans if s.name == name]
+
+    def events_named(self, name: str) -> list[TraceEvent]:
+        """All events with exactly this name, in record order."""
+        return [e for e in self.events if e.name == name]
+
+    def children(self, span_id: int) -> list[TraceSpan]:
+        """Direct child spans of ``span_id``."""
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def summary(self) -> dict:
+        """JSON-safe shape summary (used by the bench artifact)."""
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "spans": len(self.spans),
+            "events": len(self.events),
+            "dropped_spans": self.dropped_spans,
+            "dropped_events": self.dropped_events,
+            "violations": len(self.events_named("constraint.violation")),
+        }
+
+    # ------------------------------------------------------------------ #
+    # JSONL
+    # ------------------------------------------------------------------ #
+
+    def to_jsonl(self) -> str:
+        """The whole buffer as JSON Lines (header + one line per item)."""
+        header = {
+            "kind": _JSONL_HEADER_KIND,
+            "schema": TRACE_SCHEMA_VERSION,
+            "dropped_spans": self.dropped_spans,
+            "dropped_events": self.dropped_events,
+        }
+        lines = [json.dumps(header)]
+        lines.extend(json.dumps(s.to_dict()) for s in self.spans)
+        lines.extend(json.dumps(e.to_dict()) for e in self.events)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceBuffer":
+        """Parse :meth:`to_jsonl` output back into a buffer."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise ConfigurationError("empty trace file")
+        header = json.loads(lines[0])
+        if header.get("kind") != _JSONL_HEADER_KIND:
+            raise ConfigurationError(
+                f"not a repro trace file (kind={header.get('kind')!r})"
+            )
+        if header.get("schema") != TRACE_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported trace schema {header.get('schema')!r} "
+                f"(expected {TRACE_SCHEMA_VERSION})"
+            )
+        buffer = cls()
+        buffer.dropped_spans = int(header.get("dropped_spans", 0))
+        buffer.dropped_events = int(header.get("dropped_events", 0))
+        for line in lines[1:]:
+            data = json.loads(line)
+            kind = data.get("type")
+            if kind == "span":
+                buffer.spans.append(TraceSpan.from_dict(data))
+            elif kind == "event":
+                buffer.events.append(TraceEvent.from_dict(data))
+            else:
+                raise ConfigurationError(
+                    f"unknown trace record type {kind!r}"
+                )
+        if buffer.spans:
+            buffer._next_id = max(s.span_id for s in buffer.spans) + 1
+        return buffer
+
+    # ------------------------------------------------------------------ #
+    # Chrome trace (chrome://tracing, Perfetto)
+    # ------------------------------------------------------------------ #
+
+    def to_chrome_trace(self) -> dict:
+        """The buffer in Chrome's trace-event JSON format.
+
+        Timestamps are microseconds (as the format requires); the exact
+        float seconds and span topology ride along in ``args`` so
+        :meth:`from_chrome_trace` reconstructs the buffer losslessly.
+        Open spans export with zero duration and ``"open": true``.
+        """
+        trace_events = []
+        for s in self.spans:
+            end = s.start if s.end is None else s.end
+            args = {
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+                "t0": s.start,
+                "t1": s.end,
+                "attributes": dict(s.attributes),
+            }
+            if s.end is None:
+                args["open"] = True
+            trace_events.append(
+                {
+                    "name": s.name,
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": s.start * 1e6,
+                    "dur": (end - s.start) * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        for e in self.events:
+            trace_events.append(
+                {
+                    "name": e.name,
+                    "cat": "event",
+                    "ph": "i",
+                    "ts": e.time * 1e6,
+                    "s": "t",
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {
+                        "span_id": e.span_id,
+                        "t0": e.time,
+                        "attributes": dict(e.attributes),
+                    },
+                }
+            )
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": TRACE_SCHEMA_VERSION,
+                "dropped_spans": self.dropped_spans,
+                "dropped_events": self.dropped_events,
+            },
+        }
+
+    @classmethod
+    def from_chrome_trace(cls, document: Mapping) -> "TraceBuffer":
+        """Rebuild a buffer from :meth:`to_chrome_trace` output."""
+        if not isinstance(document, Mapping):
+            raise ConfigurationError("chrome trace must be a mapping")
+        other = document.get("otherData", {})
+        if other.get("schema") != TRACE_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported trace schema {other.get('schema')!r} "
+                f"(expected {TRACE_SCHEMA_VERSION})"
+            )
+        buffer = cls()
+        buffer.dropped_spans = int(other.get("dropped_spans", 0))
+        buffer.dropped_events = int(other.get("dropped_events", 0))
+        for entry in document.get("traceEvents", []):
+            args = entry.get("args", {})
+            if entry.get("ph") == "X":
+                buffer.spans.append(
+                    TraceSpan(
+                        span_id=int(args["span_id"]),
+                        parent_id=(
+                            None if args.get("parent_id") is None
+                            else int(args["parent_id"])
+                        ),
+                        name=entry["name"],
+                        start=float(args["t0"]),
+                        end=(
+                            None if args.get("t1") is None
+                            else float(args["t1"])
+                        ),
+                        attributes=dict(args.get("attributes", {})),
+                    )
+                )
+            elif entry.get("ph") == "i":
+                buffer.events.append(
+                    TraceEvent(
+                        name=entry["name"],
+                        time=float(args["t0"]),
+                        span_id=(
+                            None if args.get("span_id") is None
+                            else int(args["span_id"])
+                        ),
+                        attributes=dict(args.get("attributes", {})),
+                    )
+                )
+            else:
+                raise ConfigurationError(
+                    f"unsupported chrome trace phase {entry.get('ph')!r}"
+                )
+        if buffer.spans:
+            buffer._next_id = max(s.span_id for s in buffer.spans) + 1
+        return buffer
+
+
+# ---------------------------------------------------------------------- #
+# Module-level tracer state (same contract as the metrics switch)
+# ---------------------------------------------------------------------- #
+
+_tracing: bool = False
+_buffer: TraceBuffer = TraceBuffer()
+#: Ids of the currently open spans, innermost last.  A ``None`` entry
+#: marks a span the buffer dropped (so nesting stays balanced).
+_open: list[Optional[int]] = []
+
+
+def tracing_enabled() -> bool:
+    """Whether span/event recording is currently on."""
+    return _tracing
+
+
+def enable_tracing(buffer: Optional[TraceBuffer] = None) -> TraceBuffer:
+    """Turn tracing on (optionally into a caller-owned buffer).
+
+    Independent of the metrics switch; idempotent.  Returns the buffer
+    now receiving spans and events.
+    """
+    global _tracing, _buffer
+    if buffer is not None:
+        _buffer = buffer
+    _tracing = True
+    return _buffer
+
+
+def disable_tracing() -> None:
+    """Turn tracing off.  The buffer keeps its accumulated data."""
+    global _tracing
+    _tracing = False
+    _open.clear()
+
+
+def get_trace_buffer() -> TraceBuffer:
+    """The buffer spans are (or would be) recorded into."""
+    return _buffer
+
+
+def reset_trace() -> None:
+    """Clear the active buffer and any open-span state."""
+    _buffer.clear()
+    _open.clear()
+
+
+def current_span_id() -> Optional[int]:
+    """Id of the innermost open span, if any."""
+    for span_id in reversed(_open):
+        if span_id is not None:
+            return span_id
+    return None
+
+
+def begin_span(name: str, **attributes) -> Optional[int]:
+    """Open a span under the innermost open span; returns its id.
+
+    No-op (returns ``None``) while tracing is disabled.  Prefer the
+    :class:`span` context manager (or ``obs.timed``, which opens spans
+    automatically) over calling this directly.
+    """
+    if not _tracing:
+        return None
+    span = _buffer.start_span(
+        name, parent_id=current_span_id(), attributes=attributes or None
+    )
+    span_id = None if span is None else span.span_id
+    _open.append(span_id)
+    return span_id
+
+
+def end_span(span_id: Optional[int], **attributes) -> None:
+    """Close the innermost open span (which must be ``span_id``)."""
+    if not _open:
+        return
+    _open.pop()
+    if span_id is None:
+        return
+    for span in reversed(_buffer.spans):
+        if span.span_id == span_id:
+            span.end = perf_counter()
+            if attributes:
+                span.attributes.update(attributes)
+            return
+
+
+class span:
+    """Scoped trace span with attributes; context manager.
+
+    Unlike :class:`repro.obs.runtime.timed` this records no histogram —
+    it exists for call sites that want a timeline entry with structured
+    attributes regardless of the metrics switch.
+    """
+
+    __slots__ = ("name", "attributes", "_span_id")
+
+    def __init__(self, name: str, **attributes) -> None:
+        self.name = name
+        self.attributes = attributes
+        self._span_id: Optional[int] = None
+
+    def __enter__(self) -> "span":
+        if _tracing:
+            self._span_id = begin_span(self.name, **self.attributes)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if _tracing or _open:
+            end_span(self._span_id)
+        return False
+
+
+def add_event(name: str, **attributes) -> None:
+    """Record a structured instant event on the innermost open span.
+
+    No-op while tracing is disabled — this is the call-site vocabulary
+    for watchdog violations, replan decisions, and solver milestones.
+    """
+    if not _tracing:
+        return
+    _buffer.add_event(
+        name, span_id=current_span_id(), attributes=attributes or None
+    )
+
+
+def set_span_attributes(**attributes) -> None:
+    """Attach attributes to the innermost open span (no-op if none)."""
+    if not _tracing:
+        return
+    span_id = current_span_id()
+    if span_id is None:
+        return
+    for span_ in reversed(_buffer.spans):
+        if span_.span_id == span_id:
+            span_.attributes.update(attributes)
+            return

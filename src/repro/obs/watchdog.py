@@ -1,0 +1,540 @@
+"""Paper-constraint watchdogs: runtime monitors for invariant drift.
+
+The paper's optimality story rests on invariants the test suite asserts
+only post-hoc: every powered-on CPU sits at exactly ``T_max`` at the
+unclamped optimum (Eqs. 17-22), the throughput constraint is met, and
+total energy is exactly computing plus cooling energy (Eqs. 8-10).  A
+:class:`WatchdogSet` evaluates those invariants *while a run unfolds* —
+on every closed-form solution, every simulation step, and every
+controller replan — and records violations as telemetry instead of
+crashing the run:
+
+- a ``watchdog.violations`` counter (plus one per monitor),
+- a worst-case headroom gauge per metric (``watchdog.<metric>.headroom``),
+- a structured ``constraint.violation`` trace event,
+
+with a configurable policy: ``"warn"`` (default) issues a
+:class:`UserWarning` and keeps going; ``"raise"`` raises
+:class:`~repro.errors.ConstraintViolationError` at the violation site.
+
+Like the rest of :mod:`repro.obs`, nothing runs until installed: every
+hook site costs one module-attribute check while no watchdog is
+installed (:func:`install` / :func:`uninstall`).  Monitors are plain
+objects — subclass :class:`Monitor` to add new invariants and pass your
+set to :class:`WatchdogSet`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConstraintViolationError
+from repro.obs import runtime as _runtime
+from repro.obs import trace as _trace
+
+Policy = Literal["warn", "raise"]
+
+#: Violations kept on the set itself (counters keep exact totals).
+MAX_STORED_VIOLATIONS = 1000
+
+
+@dataclass(frozen=True)
+class Reading:
+    """One evaluated invariant: a signed headroom plus context.
+
+    ``headroom >= -tolerance`` passes; more positive is safer.  The
+    units depend on the metric (kelvin for thermal, tasks/s for
+    throughput, relative error for energy/KKT residuals).
+    """
+
+    monitor: str
+    metric: str
+    headroom: float
+    message: str
+    tolerance: float = 0.0
+    context: dict = field(default_factory=dict)
+
+    @property
+    def violated(self) -> bool:
+        return self.headroom < -self.tolerance
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded constraint violation (a failed :class:`Reading`)."""
+
+    monitor: str
+    metric: str
+    headroom: float
+    message: str
+    context: dict = field(default_factory=dict)
+
+
+class Monitor:
+    """Base class: override the hooks relevant to your invariant.
+
+    Every hook returns a list of :class:`Reading`; the default is no
+    readings, so a monitor only pays for the checks it implements.
+    """
+
+    name = "monitor"
+
+    def solution_readings(
+        self, model, solution, total_load: Optional[float]
+    ) -> list[Reading]:
+        """Invariants of one closed-form solution (Eqs. 17-22)."""
+        return []
+
+    def simulation_readings(
+        self, simulation, t_max: Optional[float]
+    ) -> list[Reading]:
+        """Invariants of one transient simulation state."""
+        return []
+
+    def replan_readings(
+        self, controller, result, offered_load: float
+    ) -> list[Reading]:
+        """Invariants of one accepted controller replan."""
+        return []
+
+
+class ThermalHeadroomMonitor(Monitor):
+    """``T_cpu <= T_max`` headroom, on predictions and simulated state."""
+
+    name = "thermal"
+
+    def __init__(self, margin: float = 0.0) -> None:
+        if margin < 0.0:
+            raise ConfigurationError(
+                f"thermal margin must be non-negative, got {margin}"
+            )
+        self.margin = margin
+
+    def _reading(self, hottest: float, t_max: float, where: str) -> Reading:
+        headroom = t_max - self.margin - hottest
+        return Reading(
+            monitor=self.name,
+            metric="thermal.headroom_k",
+            headroom=headroom,
+            message=(
+                f"{where}: hottest CPU {hottest:.2f} K exceeds "
+                f"T_max={t_max:.2f} K (margin {self.margin:.2f} K)"
+            ),
+            tolerance=1e-6,
+            context={"hottest_cpu": hottest, "t_max": t_max, "where": where},
+        )
+
+    def solution_readings(self, model, solution, total_load):
+        on = list(solution.on_ids)
+        if not on:
+            return []
+        hottest = float(np.nanmax(solution.predicted_t_cpu[on]))
+        return [self._reading(hottest, model.t_max, "closed form")]
+
+    def simulation_readings(self, simulation, t_max):
+        if t_max is None:
+            return []
+        mask = simulation.on_mask
+        if not np.any(mask):
+            return []
+        hottest = float(np.max(simulation.t_cpu[mask]))
+        return [self._reading(hottest, t_max, "simulation")]
+
+    def replan_readings(self, controller, result, offered_load):
+        model = controller.optimizer.model
+        return self.solution_readings(model, result.solution, None)
+
+
+class ThroughputMonitor(Monitor):
+    """The throughput constraint: assigned load covers the demand."""
+
+    name = "throughput"
+
+    def _reading(self, assigned: float, demanded: float, where: str) -> Reading:
+        deficit = demanded - assigned
+        return Reading(
+            monitor=self.name,
+            metric="throughput.deficit",
+            headroom=-deficit,
+            message=(
+                f"{where}: assigned load {assigned:.3f} tasks/s falls "
+                f"{deficit:.3f} short of the demanded {demanded:.3f}"
+            ),
+            tolerance=1e-6 * max(1.0, demanded),
+            context={"assigned": assigned, "demanded": demanded,
+                     "where": where},
+        )
+
+    def solution_readings(self, model, solution, total_load):
+        if total_load is None:
+            return []
+        return [
+            self._reading(solution.total_load, total_load, "closed form")
+        ]
+
+    def replan_readings(self, controller, result, offered_load):
+        return [
+            self._reading(
+                float(result.loads.sum()), offered_load, "replan"
+            )
+        ]
+
+
+class EnergyBalanceMonitor(Monitor):
+    """Energy accounting: server + AC power equals the reported total.
+
+    Re-derives per-machine power from the loads through Eq. 9 and the
+    cooler draw through Eq. 10, then compares against the solution's
+    reported totals — so a refactor that breaks the accounting (or a
+    stale cached total) surfaces as drift, not as a wrong paper figure.
+    """
+
+    name = "energy"
+
+    def __init__(self, rel_tolerance: float = 1e-6) -> None:
+        if rel_tolerance <= 0.0:
+            raise ConfigurationError(
+                f"rel_tolerance must be positive, got {rel_tolerance}"
+            )
+        self.rel_tolerance = rel_tolerance
+
+    def _reading(
+        self, reported: float, recomputed: float, where: str
+    ) -> Reading:
+        scale = max(1.0, abs(recomputed))
+        rel_error = abs(reported - recomputed) / scale
+        return Reading(
+            monitor=self.name,
+            metric="energy.balance_rel_err",
+            headroom=-rel_error,
+            message=(
+                f"{where}: reported total power {reported:.3f} W differs "
+                f"from servers+AC {recomputed:.3f} W "
+                f"(rel err {rel_error:.2e})"
+            ),
+            tolerance=self.rel_tolerance,
+            context={"reported": reported, "recomputed": recomputed,
+                     "where": where},
+        )
+
+    def solution_readings(self, model, solution, total_load):
+        server = sum(
+            model.power.power(float(solution.loads[i]))
+            for i in solution.on_ids
+        )
+        cooling = model.cooler.cooling_power(solution.t_sp, solution.t_ac)
+        return [
+            self._reading(
+                solution.predicted_total_power,
+                server + cooling,
+                "closed form",
+            )
+        ]
+
+    def simulation_readings(self, simulation, t_max):
+        recomputed = (
+            float(np.sum(simulation.powers)) + simulation.cooling_power
+        )
+        return [
+            self._reading(simulation.total_power, recomputed, "simulation")
+        ]
+
+    def replan_readings(self, controller, result, offered_load):
+        model = controller.optimizer.model
+        return self.solution_readings(model, result.solution, None)
+
+
+class KKTOptimalityMonitor(Monitor):
+    """Residuals of the closed form's KKT conditions (Eqs. 15-18).
+
+    At an unclamped optimum every active machine sits exactly at
+    ``T_max`` (Eq. 17-18) and the multipliers are strictly positive
+    (Eqs. 15-16); with actuator clamping or active-set repair the
+    machines still share one common temperature ``<= T_max``.  The
+    reading's headroom is the tolerance minus the worst residual, in
+    kelvin, normalized by ``T_max``'s scale implicitly through the
+    tolerance.
+    """
+
+    name = "kkt"
+
+    def __init__(self, tolerance: float = 1e-6) -> None:
+        if tolerance <= 0.0:
+            raise ConfigurationError(
+                f"tolerance must be positive, got {tolerance}"
+            )
+        self.tolerance = tolerance
+
+    def solution_readings(self, model, solution, total_load):
+        readings = []
+        active = list(solution.active_ids)
+        if active:
+            t_cpu = solution.predicted_t_cpu[active]
+            if solution.clamped or solution.repaired:
+                # Pinned machines may legitimately run cooler than the
+                # reported common temperature; the invariant is one-sided.
+                target = solution.common_temperature
+                residual = float(np.max(t_cpu - target))
+                label = "common temperature"
+            else:
+                # Eq. 17-18: every active CPU sits exactly at T_max.
+                target = model.t_max
+                residual = float(np.max(np.abs(t_cpu - target)))
+                label = "T_max"
+            readings.append(
+                Reading(
+                    monitor=self.name,
+                    metric="kkt.stationarity_residual_k",
+                    headroom=-residual,
+                    message=(
+                        f"active machines stray {residual:.2e} K from the "
+                        f"shared {label} (Eq. 18 stationarity)"
+                    ),
+                    tolerance=self.tolerance,
+                    context={"residual_k": residual, "target": target},
+                )
+            )
+        if total_load is not None:
+            conservation = abs(solution.total_load - total_load)
+            readings.append(
+                Reading(
+                    monitor=self.name,
+                    metric="kkt.load_conservation",
+                    headroom=-conservation,
+                    message=(
+                        f"loads sum to {solution.total_load:.6f}, "
+                        f"{conservation:.2e} away from L={total_load:.6f} "
+                        "(Eq. 12 primal feasibility)"
+                    ),
+                    tolerance=self.tolerance * max(1.0, total_load),
+                    context={"residual": conservation},
+                )
+            )
+        from repro.core.closed_form import kkt_multipliers
+
+        lam, mu = kkt_multipliers(model, solution.on_ids)
+        worst = min(lam, float(np.min(mu))) if len(mu) else lam
+        readings.append(
+            Reading(
+                monitor=self.name,
+                metric="kkt.multiplier_positivity",
+                headroom=worst,
+                message=(
+                    f"a KKT multiplier is non-positive ({worst:.3e}); "
+                    "Eqs. 15-16 require strict positivity"
+                ),
+                context={"lambda": lam, "min_mu": worst},
+            )
+        )
+        return readings
+
+    def replan_readings(self, controller, result, offered_load):
+        model = controller.optimizer.model
+        return self.solution_readings(model, result.solution, None)
+
+
+def default_monitors() -> list[Monitor]:
+    """The standard monitor set covering the paper's invariants."""
+    return [
+        ThermalHeadroomMonitor(),
+        ThroughputMonitor(),
+        EnergyBalanceMonitor(),
+        KKTOptimalityMonitor(),
+    ]
+
+
+class WatchdogSet:
+    """A pluggable set of monitors plus the violation-handling policy.
+
+    Parameters
+    ----------
+    monitors:
+        The invariants to evaluate (default: :func:`default_monitors`).
+    policy:
+        ``"warn"`` records the violation and issues a ``UserWarning``;
+        ``"raise"`` records it and raises
+        :class:`~repro.errors.ConstraintViolationError`.
+    t_max:
+        CPU temperature limit used for *simulation* checks, where no
+        fitted model is in scope (solution/replan checks read it from
+        the model).  ``None`` skips simulation thermal checks.
+    """
+
+    def __init__(
+        self,
+        monitors: Optional[Sequence[Monitor]] = None,
+        policy: Policy = "warn",
+        t_max: Optional[float] = None,
+    ) -> None:
+        if policy not in ("warn", "raise"):
+            raise ConfigurationError(f"unknown watchdog policy {policy!r}")
+        self.monitors = (
+            list(monitors) if monitors is not None else default_monitors()
+        )
+        self.policy = policy
+        self.t_max = t_max
+        self.violations: list[Violation] = []
+        self.violation_counts: dict[str, int] = {}
+        self.worst_headroom: dict[str, float] = {}
+        self.checks = 0
+
+    # ------------------------------------------------------------------ #
+    # Hook entry points (called from instrumented code)
+    # ------------------------------------------------------------------ #
+
+    def check_solution(
+        self, model, solution, total_load: Optional[float] = None
+    ) -> list[Violation]:
+        """Evaluate every monitor against one closed-form solution."""
+        readings: list[Reading] = []
+        for monitor in self.monitors:
+            readings.extend(
+                monitor.solution_readings(model, solution, total_load)
+            )
+        return self._ingest(readings)
+
+    def check_simulation(self, simulation) -> list[Violation]:
+        """Evaluate every monitor against the live simulation state."""
+        readings: list[Reading] = []
+        for monitor in self.monitors:
+            readings.extend(
+                monitor.simulation_readings(simulation, self.t_max)
+            )
+        return self._ingest(readings)
+
+    def check_replan(
+        self, controller, result, offered_load: float
+    ) -> list[Violation]:
+        """Evaluate every monitor against one accepted replan."""
+        readings: list[Reading] = []
+        for monitor in self.monitors:
+            readings.extend(
+                monitor.replan_readings(controller, result, offered_load)
+            )
+        return self._ingest(readings)
+
+    def notify_infeasible(self, message: str, **context) -> Violation:
+        """Record an infeasible replan as a violation (no monitor ran)."""
+        reading = Reading(
+            monitor="replan",
+            metric="replan.feasible",
+            headroom=-1.0,
+            message=message,
+            context=context,
+        )
+        return self._ingest([reading])[0]
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def _ingest(self, readings: Sequence[Reading]) -> list[Violation]:
+        self.checks += 1
+        _runtime.count("watchdog.checks")
+        violations: list[Violation] = []
+        for reading in readings:
+            worst = min(
+                self.worst_headroom.get(reading.metric, float("inf")),
+                reading.headroom,
+            )
+            self.worst_headroom[reading.metric] = worst
+            _runtime.set_gauge(
+                f"watchdog.{reading.metric}.headroom", worst
+            )
+            if reading.violated:
+                violations.append(self._record_violation(reading))
+        return violations
+
+    def _record_violation(self, reading: Reading) -> Violation:
+        violation = Violation(
+            monitor=reading.monitor,
+            metric=reading.metric,
+            headroom=reading.headroom,
+            message=reading.message,
+            context=dict(reading.context),
+        )
+        if len(self.violations) < MAX_STORED_VIOLATIONS:
+            self.violations.append(violation)
+        self.violation_counts[reading.monitor] = (
+            self.violation_counts.get(reading.monitor, 0) + 1
+        )
+        _runtime.count("watchdog.violations")
+        _runtime.count(f"watchdog.{reading.monitor}.violations")
+        _trace.add_event(
+            "constraint.violation",
+            monitor=reading.monitor,
+            metric=reading.metric,
+            headroom=reading.headroom,
+            message=reading.message,
+            **reading.context,
+        )
+        if self.policy == "raise":
+            raise ConstraintViolationError(reading.message)
+        warnings.warn(reading.message, UserWarning, stacklevel=4)
+        return violation
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def violation_count(self) -> int:
+        """Total violations recorded (exact, unlike the stored list)."""
+        return sum(self.violation_counts.values())
+
+    def headroom_table(self) -> dict[str, float]:
+        """Worst-case headroom per metric, sorted by metric name."""
+        return dict(sorted(self.worst_headroom.items()))
+
+    def emit_summary(self, buffer: Optional[_trace.TraceBuffer] = None) -> None:
+        """Write one ``watchdog.headroom`` event per metric to a buffer.
+
+        Makes the headroom table self-contained in an exported trace
+        file, so ``repro dashboard`` can render it without the live
+        :class:`WatchdogSet`.  Defaults to the active trace buffer.
+        """
+        target = buffer if buffer is not None else _trace.get_trace_buffer()
+        for metric, headroom in sorted(self.worst_headroom.items()):
+            target.add_event(
+                "watchdog.headroom",
+                attributes={
+                    "metric": metric,
+                    "headroom": headroom,
+                    "violations": sum(
+                        1 for v in self.violations if v.metric == metric
+                    ),
+                },
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Module-level installation (same contract as the metrics switch)
+# ---------------------------------------------------------------------- #
+
+_active: Optional[WatchdogSet] = None
+
+
+def install(watchdog: Optional[WatchdogSet] = None) -> WatchdogSet:
+    """Install a watchdog set as the process-wide monitor.
+
+    Instrumented code (closed form, simulation step, controller replan)
+    starts feeding it immediately.  Returns the installed set.
+    """
+    global _active
+    _active = watchdog if watchdog is not None else WatchdogSet()
+    return _active
+
+
+def uninstall() -> None:
+    """Remove the active watchdog; hook sites go back to one flag check."""
+    global _active
+    _active = None
+
+
+def active() -> Optional[WatchdogSet]:
+    """The installed watchdog set, if any."""
+    return _active

@@ -23,6 +23,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro import obs, units
+from repro.obs import trace as _trace
+from repro.obs import watchdog as _watchdog
 from repro.errors import ConfigurationError, ConvergenceError, SimulationError
 from repro.thermal.cooling import CoolingUnit
 from repro.thermal.room import MachineRoom
@@ -233,6 +235,18 @@ class RoomSimulation:
         )
         self.time += dt
         obs.count("simulation.steps")
+        if _trace._tracing:
+            _trace.add_event(
+                "simulation.step",
+                sim_time=self.time,
+                t_room=self.t_room,
+                t_ac=self.t_ac,
+                hottest_cpu=float(np.max(self.t_cpu)),
+                p_ac=self._last_p_ac,
+            )
+        wd = _watchdog._active
+        if wd is not None:
+            wd.check_simulation(self)
         if not (
             np.all(np.isfinite(self.t_cpu))
             and np.isfinite(self.t_room)

@@ -76,6 +76,43 @@ def test_validator_requires_schema_stamp():
         )
 
 
+def test_trace_section_included_when_traced(solved_registry):
+    buffer = obs.TraceBuffer()
+    buffer.start_span("selection")
+    document = obs.bench_observability(solved_registry, trace=buffer)
+    obs.validate_bench_observability(document)
+    assert document["trace"] == buffer.summary()
+    assert document["trace"]["spans"] == 1
+
+
+def test_trace_section_omitted_when_empty(solved_registry):
+    document = obs.bench_observability(
+        solved_registry, trace=obs.TraceBuffer()
+    )
+    assert "trace" not in document
+    obs.validate_bench_observability(document)
+
+
+@pytest.mark.parametrize(
+    "trace",
+    [
+        "not a map",
+        {},
+        {"schema": 1, "spans": 1, "events": 0, "dropped_spans": 0,
+         "dropped_events": 0},  # missing 'violations'
+        {"schema": 1, "spans": -1, "events": 0, "dropped_spans": 0,
+         "dropped_events": 0, "violations": 0},
+        {"schema": 1, "spans": 1.5, "events": 0, "dropped_spans": 0,
+         "dropped_events": 0, "violations": 0},
+    ],
+)
+def test_validator_rejects_malformed_trace_section(solved_registry, trace):
+    document = obs.bench_observability(solved_registry)
+    document["trace"] = trace
+    with pytest.raises(ConfigurationError):
+        obs.validate_bench_observability(document)
+
+
 def test_validator_rejects_inconsistent_stage_stats():
     bad = {
         "schema": obs.SCHEMA_VERSION,

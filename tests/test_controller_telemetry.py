@@ -1,0 +1,146 @@
+"""Controller edge-case telemetry: the trace a run leaves behind.
+
+Satellite coverage for PR 2: a load ramp inside the hysteresis band
+produces *zero* replan spans, a dwell-blocked replan produces a
+structured ``replan.suppressed`` event, and an infeasible replan records
+a violation event while the previous plan stays active.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.controller import RuntimeController
+from repro.core.optimizer import JointOptimizer
+from repro.errors import InfeasibleError
+from repro.obs.trace import TraceBuffer
+from repro.obs.watchdog import WatchdogSet
+from repro.testbed.synthetic import make_system_model
+
+
+@pytest.fixture
+def tracing():
+    buffer = obs.enable_tracing(TraceBuffer())
+    yield buffer
+    obs.disable_tracing()
+
+
+@pytest.fixture
+def planned():
+    """A controller with an active plan made at t=0 for ``base`` load."""
+    model = make_system_model(n=8)
+    controller = RuntimeController(
+        JointOptimizer(model), hysteresis=0.15, min_dwell=600.0
+    )
+    base = 0.4 * sum(model.capacities)
+    assert controller.observe(0.0, base) is not None
+    return controller, base
+
+
+class TestInBandRamp:
+    def test_ramp_inside_hysteresis_band_yields_zero_replan_spans(
+        self, planned, tracing
+    ):
+        controller, base = planned
+        before = controller.reconfigurations
+        # Ramp from -10% to +10% of the planned-for load: inside the
+        # band, every observation is a no-op — not even a suppression.
+        for step in range(21):
+            load = base * (0.9 + 0.01 * step)
+            assert controller.observe(1000.0 + 60.0 * step, load) is None
+        assert controller.reconfigurations == before
+        assert tracing.spans_named("controller/replan") == []
+        assert tracing.events_named("replan.suppressed") == []
+        assert len(tracing) == 0
+
+
+class TestDwellSuppression:
+    def test_dwell_blocked_replan_emits_structured_event(
+        self, planned, tracing
+    ):
+        controller, base = planned
+        # Well below the band at t=60: a replan is wanted but the dwell
+        # guard (600 s) blocks it — suppressed, with the old plan kept.
+        plan_before = controller.plan
+        assert controller.observe(60.0, 0.1 * base) is None
+        assert controller.plan is plan_before
+        assert controller.suppressed == 1
+        events = tracing.events_named("replan.suppressed")
+        assert len(events) == 1
+        attrs = events[0].attributes
+        assert attrs["time"] == 60.0
+        assert attrs["offered_load"] == pytest.approx(0.1 * base)
+        assert attrs["reason"] == "load well below planned band"
+        assert attrs["dwell_remaining"] == pytest.approx(540.0)
+        assert tracing.spans_named("controller/replan") == []
+
+    def test_suppression_clears_after_dwell(self, planned, tracing):
+        controller, base = planned
+        assert controller.observe(60.0, 0.1 * base) is None
+        result = controller.observe(700.0, 0.1 * base)
+        assert result is not None
+        spans = tracing.spans_named("controller/replan")
+        assert len(spans) == 1
+        assert spans[0].attributes["reason"] == "load well below planned band"
+        assert spans[0].attributes["planned_load"] == pytest.approx(
+            0.1 * base * controller.headroom
+        )
+
+
+class TestInfeasibleReplan:
+    def _stub_solve(self, controller, monkeypatch):
+        def boom(*args, **kwargs):
+            raise InfeasibleError("stub: no feasible configuration")
+
+        monkeypatch.setattr(controller.optimizer, "solve", boom)
+
+    def test_previous_plan_stays_active(
+        self, planned, tracing, monkeypatch
+    ):
+        controller, base = planned
+        registry = obs.enable(obs.MetricsRegistry())
+        try:
+            self._stub_solve(controller, monkeypatch)
+            plan_before = controller.plan
+            # Above the planned band: a replan is forced, and fails.
+            assert controller.observe(1000.0, 1.3 * base) is None
+            assert controller.plan is plan_before
+            assert (
+                registry.counter("controller.replan_infeasible").value == 1.0
+            )
+        finally:
+            obs.disable()
+        events = tracing.events_named("constraint.violation")
+        assert len(events) == 1
+        assert events[0].attributes["metric"] == "replan.feasible"
+        assert events[0].attributes["offered_load"] == pytest.approx(
+            1.3 * base
+        )
+
+    def test_routed_through_installed_watchdog(
+        self, planned, tracing, monkeypatch
+    ):
+        controller, base = planned
+        self._stub_solve(controller, monkeypatch)
+        wd = obs.watchdog.install(WatchdogSet(policy="warn"))
+        try:
+            with pytest.warns(UserWarning, match="no feasible"):
+                assert controller.observe(1000.0, 1.3 * base) is None
+        finally:
+            obs.watchdog.uninstall()
+        assert wd.violation_counts == {"replan": 1}
+        events = tracing.events_named("constraint.violation")
+        assert len(events) == 1
+        assert events[0].attributes["monitor"] == "replan"
+
+    def test_reraises_when_no_plan_exists(self, monkeypatch):
+        model = make_system_model(n=8)
+        controller = RuntimeController(JointOptimizer(model))
+        self._stub_solve(controller, monkeypatch)
+        with pytest.raises(InfeasibleError):
+            controller.observe(0.0, 0.4 * sum(model.capacities))
+
+    def test_over_capacity_load_still_raises(self, planned):
+        controller, base = planned
+        capacity = sum(controller.optimizer.model.capacities)
+        with pytest.raises(InfeasibleError, match="exceeds"):
+            controller.observe(1000.0, 2.0 * capacity)

@@ -80,6 +80,45 @@ class TestHistogram:
         assert h.count == obs.MAX_HISTOGRAM_SAMPLES + 100
         assert h.max == float(obs.MAX_HISTOGRAM_SAMPLES + 99)
 
+    def test_reservoir_keeps_late_run_values_in_quantiles(self):
+        """Past the cap, sampling is reservoir-based: a shift late in
+        the run must move the percentiles (the old first-N policy froze
+        them at the head of the stream)."""
+        h = obs.Histogram("h")
+        for _ in range(obs.MAX_HISTOGRAM_SAMPLES):
+            h.observe(1.0)
+        for _ in range(4 * obs.MAX_HISTOGRAM_SAMPLES):
+            h.observe(1000.0)
+        # ~80% of the stream is the late outlier level; the median must
+        # reflect it even though the cap was reached before it started.
+        assert h.percentile(50) == 1000.0
+        assert h.percentile(99) == 1000.0
+        assert h.min == 1.0  # exact extrema are tracked outside samples
+        assert h.max == 1000.0
+        assert h.count == 5 * obs.MAX_HISTOGRAM_SAMPLES
+
+    def test_reservoir_is_deterministic_per_name(self):
+        def fill(name):
+            h = obs.Histogram(name)
+            for v in range(3 * obs.MAX_HISTOGRAM_SAMPLES):
+                h.observe(float(v))
+            return h
+
+        a, b = fill("same"), fill("same")
+        assert a.percentile(50) == b.percentile(50)
+        assert a.summary() == b.summary()
+
+    def test_reservoir_leaves_global_random_state_alone(self):
+        import random
+
+        random.seed(1234)
+        expected = random.random()
+        random.seed(1234)
+        h = obs.Histogram("h")
+        for v in range(2 * obs.MAX_HISTOGRAM_SAMPLES):
+            h.observe(float(v))
+        assert random.random() == expected
+
 
 class TestRegistry:
     def test_get_or_create(self, registry):

@@ -1,0 +1,267 @@
+"""Tests for the paper-constraint watchdogs (repro.obs.watchdog).
+
+Distinct from ``tests/test_watchdog.py``, which covers the *controller's*
+thermal derating reaction; this file covers the pluggable runtime
+monitors of :mod:`repro.obs.watchdog`.
+"""
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.closed_form import solve_closed_form
+from repro.core.controller import RuntimeController
+from repro.core.optimizer import JointOptimizer
+from repro.errors import ConfigurationError, ConstraintViolationError
+from repro.obs.trace import TraceBuffer
+from repro.obs.watchdog import (
+    EnergyBalanceMonitor,
+    KKTOptimalityMonitor,
+    Reading,
+    ThermalHeadroomMonitor,
+    ThroughputMonitor,
+    WatchdogSet,
+)
+from repro.testbed.rack import build_testbed
+from repro.testbed.synthetic import make_system_model
+
+
+@pytest.fixture
+def registry():
+    registry = obs.MetricsRegistry()
+    obs.enable(registry)
+    yield registry
+    obs.disable()
+
+
+@pytest.fixture
+def installed():
+    """Install a warn-policy watchdog; uninstall afterwards."""
+    wd = obs.watchdog.install(WatchdogSet(policy="warn"))
+    yield wd
+    obs.watchdog.uninstall()
+
+
+@pytest.fixture
+def solved(big_system_model):
+    model = big_system_model
+    load = 0.5 * sum(model.capacities)
+    solution = solve_closed_form(
+        model, list(range(model.node_count)), load
+    )
+    return model, solution, load
+
+
+class TestReading:
+    def test_violated_respects_tolerance(self):
+        ok = Reading(monitor="m", metric="x", headroom=-1e-9,
+                     message="", tolerance=1e-6)
+        bad = Reading(monitor="m", metric="x", headroom=-1e-3,
+                      message="", tolerance=1e-6)
+        assert not ok.violated
+        assert bad.violated
+
+    def test_policy_validated(self):
+        with pytest.raises(ConfigurationError):
+            WatchdogSet(policy="explode")
+
+
+class TestMonitorsOnCleanSolution:
+    def test_no_violations_and_gauges_recorded(
+        self, registry, solved
+    ):
+        model, solution, load = solved
+        wd = WatchdogSet(policy="warn")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would fail
+            violations = wd.check_solution(model, solution, load)
+        assert violations == []
+        assert wd.violation_count == 0
+        assert wd.checks == 1
+        table = wd.headroom_table()
+        # the plan keeps every CPU at or below T_max (exactly at it for
+        # an unclamped optimum; cooler for this clamped one) …
+        assert table["thermal.headroom_k"] >= -1e-6
+        # … the load is conserved, and energy accounting balances
+        assert abs(table["kkt.load_conservation"]) < 1e-6
+        assert abs(table["energy.balance_rel_err"]) < 1e-6
+        assert table["kkt.multiplier_positivity"] > 0.0
+        assert (
+            registry.gauge("watchdog.thermal.headroom_k.headroom").value
+            == table["thermal.headroom_k"]
+        )
+        assert registry.counter("watchdog.checks").value == 1.0
+
+    def test_solve_hook_feeds_installed_watchdog(
+        self, registry, installed, big_system_model
+    ):
+        JointOptimizer(big_system_model).solve(
+            0.5 * sum(big_system_model.capacities)
+        )
+        assert installed.checks >= 1
+        assert installed.violation_count == 0
+
+
+class TestViolationHandling:
+    def test_energy_drift_warns_and_records(self, registry, solved):
+        model, solution, load = solved
+        drifted = dataclasses.replace(
+            solution, predicted_cooling_power=solution.predicted_cooling_power + 50.0
+        )
+        wd = WatchdogSet(policy="warn")
+        with pytest.warns(UserWarning, match="differs"):
+            violations = wd.check_solution(model, drifted, load)
+        assert len(violations) == 1
+        assert violations[0].monitor == "energy"
+        assert wd.violation_counts == {"energy": 1}
+        assert registry.counter("watchdog.violations").value == 1.0
+        assert registry.counter("watchdog.energy.violations").value == 1.0
+
+    def test_raise_policy_escalates(self, solved):
+        model, solution, load = solved
+        drifted = dataclasses.replace(
+            solution, predicted_cooling_power=solution.predicted_cooling_power + 50.0
+        )
+        wd = WatchdogSet(policy="raise")
+        with pytest.raises(ConstraintViolationError):
+            wd.check_solution(model, drifted, load)
+        assert wd.violation_count == 1  # recorded before raising
+
+    def test_throughput_deficit_detected(self, solved):
+        model, solution, load = solved
+        wd = WatchdogSet(
+            monitors=[ThroughputMonitor()], policy="warn"
+        )
+        with pytest.warns(UserWarning, match="short"):
+            violations = wd.check_solution(model, solution, 2.0 * load)
+        assert violations[0].metric == "throughput.deficit"
+        assert wd.headroom_table()["throughput.deficit"] < 0.0
+
+    def test_kkt_stationarity_violation_detected(self, solved):
+        model, solution, load = solved
+        hot = solution.predicted_t_cpu.copy()
+        hot[solution.active_ids[0]] += 0.5
+        skewed = dataclasses.replace(solution, predicted_t_cpu=hot)
+        wd = WatchdogSet(monitors=[KKTOptimalityMonitor()], policy="warn")
+        with pytest.warns(UserWarning, match="stray"):
+            wd.check_solution(model, skewed, load)
+        assert wd.violation_counts == {"kkt": 1}
+
+    def test_notify_infeasible_records_synthetic_violation(
+        self, registry
+    ):
+        wd = WatchdogSet(policy="warn")
+        with pytest.warns(UserWarning, match="no capacity"):
+            violation = wd.notify_infeasible(
+                "no capacity", time=60.0, offered_load=999.0
+            )
+        assert violation.metric == "replan.feasible"
+        assert violation.context == {"time": 60.0, "offered_load": 999.0}
+        assert wd.violation_count == 1
+
+    def test_violation_becomes_trace_event(self, solved):
+        model, solution, load = solved
+        buffer = obs.enable_tracing(TraceBuffer())
+        try:
+            wd = WatchdogSet(monitors=[ThroughputMonitor()], policy="warn")
+            with pytest.warns(UserWarning):
+                wd.check_solution(model, solution, 2.0 * load)
+        finally:
+            obs.disable_tracing()
+        events = buffer.events_named("constraint.violation")
+        assert len(events) == 1
+        assert events[0].attributes["monitor"] == "throughput"
+        assert events[0].attributes["metric"] == "throughput.deficit"
+        assert events[0].attributes["headroom"] < 0.0
+        assert buffer.summary()["violations"] == 1
+
+
+class TestMisTunedScenario:
+    """Acceptance: lowering ``T_max`` *after* planning trips the thermal
+    watchdog on the live simulation — counter, trace event, and policy
+    behave as documented."""
+
+    def _planned_simulation(self):
+        testbed = build_testbed(seed=2012)
+        model = make_system_model(n=testbed.n_machines)
+        result = JointOptimizer(model).solve(0.5 * sum(model.capacities))
+        on = set(result.on_ids)
+        powers = [
+            model.power.power(float(result.loads[i])) if i in on else 0.0
+            for i in range(model.node_count)
+        ]
+        testbed.simulation.set_node_powers(
+            powers, on_mask=[i in on for i in range(model.node_count)]
+        )
+        testbed.simulation.run(120.0, dt=1.0)
+        return testbed.simulation
+
+    def test_thermal_watchdog_trips(self, registry):
+        simulation = self._planned_simulation()
+        hottest = float(np.max(simulation.t_cpu[simulation.on_mask]))
+        buffer = obs.enable_tracing(TraceBuffer())
+        # The operator lowers the limit below what the plan produces.
+        wd = obs.watchdog.install(
+            WatchdogSet(policy="warn", t_max=hottest - 1.0)
+        )
+        try:
+            with pytest.warns(UserWarning, match="exceeds"):
+                simulation.step(dt=1.0)
+        finally:
+            obs.watchdog.uninstall()
+            obs.disable_tracing()
+        assert wd.violation_counts["thermal"] >= 1
+        assert registry.counter("watchdog.thermal.violations").value >= 1.0
+        events = buffer.events_named("constraint.violation")
+        assert events and events[0].attributes["monitor"] == "thermal"
+        assert wd.headroom_table()["thermal.headroom_k"] < 0.0
+
+    def test_raise_policy_stops_the_run(self):
+        simulation = self._planned_simulation()
+        hottest = float(np.max(simulation.t_cpu[simulation.on_mask]))
+        obs.watchdog.install(
+            WatchdogSet(policy="raise", t_max=hottest - 1.0)
+        )
+        try:
+            with pytest.raises(ConstraintViolationError):
+                simulation.step(dt=1.0)
+        finally:
+            obs.watchdog.uninstall()
+
+
+class TestReplanChecks:
+    def test_clean_replan_passes(self, installed, big_system_model):
+        controller = RuntimeController(
+            JointOptimizer(big_system_model), min_dwell=0.0
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            controller.observe(0.0, 0.4 * sum(big_system_model.capacities))
+        assert installed.checks >= 1
+        assert installed.violation_count == 0
+
+
+class TestSummary:
+    def test_emit_summary_writes_headroom_events(self, solved):
+        model, solution, load = solved
+        wd = WatchdogSet(policy="warn")
+        wd.check_solution(model, solution, load)
+        buffer = TraceBuffer()
+        wd.emit_summary(buffer)
+        events = buffer.events_named("watchdog.headroom")
+        metrics = {e.attributes["metric"] for e in events}
+        assert metrics == set(wd.headroom_table())
+        for event in events:
+            assert "headroom" in event.attributes
+            assert event.attributes["violations"] == 0
+
+    def test_monitor_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            ThermalHeadroomMonitor(margin=-1.0)
+        with pytest.raises(ConfigurationError):
+            EnergyBalanceMonitor(rel_tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            KKTOptimalityMonitor(tolerance=-1.0)
