@@ -1,0 +1,297 @@
+"""Scale bench for Algorithm 1: vectorized index vs pure-Python baseline.
+
+The paper pays O(n^3 log n) offline (Algorithm 1) to make the online
+query O(log n) (Algorithm 2); this bench measures that trade at machine
+counts far beyond the paper's 10-node room.  For each ``n`` it
+
+- builds the vectorized (numpy-engine) :class:`ConsolidationIndex` and
+  times it;
+- where affordable, runs the pure-Python baseline — a verbatim port of
+  the pre-vectorization implementation (per-status dataclass
+  allocations, dict-of-orders, Python sorts; only the gap-aware nudge
+  bugfix applied so the tables agree) — asserts its tables and query
+  answers are **byte-identical** to the vectorized index on a
+  randomized workload, and records the speedup;
+- times the online path one query at a time and through the batched
+  :meth:`~repro.core.consolidation.ConsolidationIndex.query_many`.
+
+Results land in ``benchmarks/results/consolidation_scale.json``
+(schema: :func:`repro.obs.validate_consolidation_scale`) and a readable
+table in ``benchmarks/results/consolidation_scale.txt``.
+
+Environment knobs (used by the CI bench-smoke job):
+
+- ``REPRO_BENCH_SCALE_NS`` — comma-separated machine counts
+  (default ``20,100,300,500``);
+- ``REPRO_BENCH_SCALE_BASELINE_MAX`` — largest ``n`` for which the
+  pure-Python baseline is built (default ``300``; the baseline is the
+  expensive side of the comparison).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro import obs
+from repro.core.consolidation import ConsolidationIndex
+
+SEED = 2012
+
+#: Queries per size for the online-path timing and the identity check.
+QUERIES = 64
+
+#: Sizes where the paper's acceptance speedup (>= 20x) is asserted.
+SPEEDUP_FLOOR = 20.0
+SPEEDUP_AT = 300
+
+
+def _sizes() -> list[int]:
+    raw = os.environ.get("REPRO_BENCH_SCALE_NS", "20,100,300,500")
+    sizes = [int(part) for part in raw.split(",") if part.strip()]
+    if not sizes or any(n < 2 for n in sizes):
+        raise ValueError(f"bad REPRO_BENCH_SCALE_NS={raw!r}")
+    return sizes
+
+
+def _baseline_max() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE_BASELINE_MAX", "300"))
+
+
+def _instance(n: int) -> dict:
+    """A randomized, capacity-constrained instance at size ``n``.
+
+    Drawn to look like the fitted testbed abstraction: ``a = K`` around
+    the thermal headroom scale, ``b = alpha/beta`` spread across machine
+    efficiencies, with a duplicated-``b`` block (parallel particles) so
+    the degenerate paths stay exercised at every size.
+    """
+    rng = np.random.default_rng(SEED + n)
+    a = rng.uniform(200.0, 400.0, n)
+    b = rng.uniform(0.5, 2.5, n)
+    b[: max(2, n // 10)] = 1.5  # parallel particles never cross
+    return {
+        "pairs": [(float(x), float(y)) for x, y in zip(a, b)],
+        "w2": 40.0,
+        "rho": 70.0,
+        "t_min": 180.0,
+        "t_max": 230.0,
+        "capacities": [float(c) for c in rng.uniform(30.0, 50.0, n)],
+    }
+
+
+@dataclass(frozen=True)
+class _SeedStatus:
+    """Status row of the pre-vectorization implementation."""
+
+    t: float
+    k: int
+    l_max: float
+    p_b: float
+
+
+class _SeedIndex:
+    """The pure-Python baseline: Algorithm 1 as the repo implemented it
+    before vectorization — one :class:`_SeedStatus` allocation per table
+    row, an orders dict keyed by event time, Python sorts throughout —
+    with the gap-aware order nudge applied (the precision bugfix shipped
+    alongside the vectorization; without it the two tables legitimately
+    differ on near-coincident crossings)."""
+
+    def __init__(self, pairs, w2, rho, theta0=0.0, **_unused):
+        n = len(pairs)
+        events = []
+        for i in range(n):
+            a_i, b_i = pairs[i]
+            for j in range(i + 1, n):
+                a_j, b_j = pairs[j]
+                if b_i == b_j:
+                    continue
+                t = (a_i - a_j) / (b_i - b_j)
+                if t <= 0.0:
+                    continue
+                events.append((t, i, j))
+        events.sort()
+        times = sorted({0.0, *(e[0] for e in events)})
+        arr = np.asarray(pairs, dtype=float)
+        self.orders = {}
+        self.all_status = []
+        for idx, t in enumerate(times):
+            eps = 1e-9 * max(1.0, abs(t))
+            if idx + 1 < len(times):
+                eps = min(eps, 0.5 * (times[idx + 1] - t))
+            xn = arr[:, 0] - (t + eps) * arr[:, 1]
+            order = sorted(range(n), key=lambda i: (-xn[i], i))
+            self.orders[t] = order
+            x = arr[:, 0] - t * arr[:, 1]
+            acc = 0.0
+            for k, i in enumerate(order, start=1):
+                acc += float(x[i])
+                self.all_status.append(
+                    _SeedStatus(
+                        t=t, k=k, l_max=acc,
+                        p_b=k * w2 - rho * t + theta0,
+                    )
+                )
+        self.all_status.sort(key=lambda status: status.l_max)
+        self._lmax = [status.l_max for status in self.all_status]
+
+    def query(self, load):
+        pos = bisect.bisect_right(self._lmax, load)
+        if pos >= len(self.all_status):
+            raise ValueError(f"no status can serve load {load}")
+        status = self.all_status[pos]
+        return sorted(self.orders[status.t][: status.k])
+
+
+@dataclass
+class _Entry:
+    n: int
+    events: int
+    statuses: int
+    queries: int
+    build_seconds: float
+    baseline_build_seconds: Optional[float]
+    speedup: Optional[float]
+    query_seconds_single: float
+    query_seconds_batched: float
+    identical_answers: Optional[bool]
+
+
+def _identical(fast: ConsolidationIndex, seed: _SeedIndex,
+               loads: np.ndarray) -> bool:
+    """Byte-identical tables and query answers vs the seed baseline."""
+    if not np.array_equal(
+        fast._tab_lmax, np.asarray(seed._lmax, dtype=np.float64)
+    ):
+        return False
+    if sorted(seed.orders) != [float(t) for t in fast._times]:
+        return False
+    for load in loads.tolist():
+        if fast.query(load) != seed.query(load):
+            return False
+    return True
+
+
+def _measure(n: int, baseline_max: int) -> _Entry:
+    spec = _instance(n)
+    # Best of two rounds: the first build pays the allocator's cold
+    # page-fault cost for the ~status_count-sized buffers, which is
+    # machine noise, not algorithm time.
+    build = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        index = ConsolidationIndex(engine="numpy", **spec)
+        build = min(build, time.perf_counter() - start)
+
+    baseline = speedup = identical = None
+    # Queries span the physically servable range (capacity-bounded; the
+    # table's Lmax ceiling is far above it on these instances).
+    capacity = sum(spec["capacities"])
+    rng = np.random.default_rng(SEED)
+    loads = rng.uniform(0.1 * capacity, 0.8 * capacity, QUERIES)
+    if n <= baseline_max:
+        start = time.perf_counter()
+        reference = _SeedIndex(**spec)
+        baseline = time.perf_counter() - start
+        speedup = baseline / build
+        identical = _identical(index, reference, loads)
+        del reference  # free the per-status objects before the next size
+
+    # One-at-a-time online path (fresh loads: the memo must not answer).
+    singles = rng.uniform(0.1 * capacity, 0.8 * capacity, QUERIES)
+    start = time.perf_counter()
+    for load in singles.tolist():
+        index.query_refined(load)
+    single_per_query = (time.perf_counter() - start) / QUERIES
+
+    batched = rng.uniform(0.1 * capacity, 0.8 * capacity, QUERIES)
+    start = time.perf_counter()
+    index.query_many(batched)
+    batched_per_query = (time.perf_counter() - start) / QUERIES
+
+    return _Entry(
+        n=n,
+        events=index.event_count,
+        statuses=index.status_count,
+        queries=QUERIES,
+        build_seconds=build,
+        baseline_build_seconds=baseline,
+        speedup=speedup,
+        query_seconds_single=single_per_query,
+        query_seconds_batched=batched_per_query,
+        identical_answers=identical,
+    )
+
+
+def run_consolidation_scale() -> list[_Entry]:
+    baseline_max = _baseline_max()
+    return [_measure(n, baseline_max) for n in _sizes()]
+
+
+def _document(entries: list[_Entry]) -> dict:
+    return {
+        "schema": obs.SCHEMA_VERSION,
+        "kind": "consolidation-scale",
+        "seed": SEED,
+        "entries": [vars(entry) for entry in entries],
+    }
+
+
+def _table(entries: list[_Entry]) -> str:
+    lines = [
+        "consolidation scale: vectorized Algorithm 1 vs pure-Python"
+        " baseline",
+        f"{'n':>5} {'events':>8} {'statuses':>10} {'build':>10} "
+        f"{'baseline':>10} {'speedup':>8} {'query':>10} {'batched':>10}",
+    ]
+    for e in entries:
+        baseline = (
+            "-" if e.baseline_build_seconds is None
+            else f"{e.baseline_build_seconds:.3f}s"
+        )
+        speedup = "-" if e.speedup is None else f"{e.speedup:.1f}x"
+        lines.append(
+            f"{e.n:>5} {e.events:>8} {e.statuses:>10} "
+            f"{e.build_seconds:>9.3f}s {baseline:>10} {speedup:>8} "
+            f"{1e6 * e.query_seconds_single:>8.1f}us "
+            f"{1e6 * e.query_seconds_batched:>8.1f}us"
+        )
+    return "\n".join(lines)
+
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_consolidation_scale(benchmark, emit):
+    entries = benchmark.pedantic(
+        run_consolidation_scale, rounds=1, iterations=1
+    )
+    document = _document(entries)
+    obs.validate_consolidation_scale(document)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "consolidation_scale.json").write_text(
+        json.dumps(document, indent=2) + "\n"
+    )
+    emit("consolidation_scale", _table(entries))
+
+    for entry in entries:
+        # Where the baseline ran, the engines agreed byte for byte.
+        assert entry.identical_answers in (True, None)
+        # Batching must never lose to the one-at-a-time loop by much
+        # (it shares the same scan; the win is amortized dispatch).
+        assert entry.query_seconds_batched <= 2.0 * max(
+            entry.query_seconds_single, 1e-7
+        )
+        if entry.n >= SPEEDUP_AT and entry.speedup is not None:
+            assert entry.speedup >= SPEEDUP_FLOOR, (
+                f"n={entry.n}: vectorized build only "
+                f"{entry.speedup:.1f}x over the Python baseline"
+            )

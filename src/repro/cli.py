@@ -10,6 +10,8 @@ Usage::
     repro solve --load 400          # run the optimizer on a profiled rack
     repro solve --load 400 --model model.json   # ... on a saved model
     repro metrics --load 400        # instrumented run + registry dump (JSON)
+    repro index --machines 20 --save idx.npz   # build + persist Algorithm 1
+    repro index --cache-dir .repro-cache       # warm a reusable index cache
     repro trace --out trace.jsonl   # traced + watched controller scenario
     repro trace --chrome trace.json # ... also export for chrome://tracing
     repro dashboard --trace trace.jsonl   # render a recorded trace
@@ -74,7 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         help="figure id (fig1..fig10, headline, algorithms), 'all', "
-        "'list', 'profile', 'solve', 'metrics', 'trace', or 'dashboard'",
+        "'list', 'profile', 'solve', 'index', 'metrics', 'trace', or "
+        "'dashboard'",
     )
     parser.add_argument(
         "--seed", type=int, default=2012, help="testbed build seed"
@@ -103,7 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--save",
         default=None,
-        help="where to write the fitted model (profile target only)",
+        help="where to write the fitted model (profile target) or the "
+        "pre-processed index .npz (index target)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of persisted consolidation indexes; the index "
+        "target loads a matching index from here instead of rebuilding, "
+        "and writes fresh builds back (index target only)",
     )
     parser.add_argument(
         "--plot",
@@ -192,8 +203,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.target == "list":
         for name in [*standalone, *contextual, "all", "profile", "solve",
-                     "report", "metrics", "trace", "dashboard"]:
+                     "index", "report", "metrics", "trace", "dashboard"]:
             print(name)
+        return 0
+
+    if args.target == "index":
+        import time
+
+        from repro.core.optimizer import JointOptimizer
+
+        if args.model:
+            from repro.core.serialization import load_system_model
+
+            model = load_system_model(args.model)
+        else:
+            ctx = default_context(seed=args.seed, n_machines=args.machines)
+            model = ctx.model
+        optimizer = JointOptimizer(model, index_cache_dir=args.cache_dir)
+        start = time.perf_counter()
+        index = optimizer.index
+        elapsed = time.perf_counter() - start
+        print(
+            f"consolidation index for {len(index.pairs)} machines: "
+            f"{index.event_count} events, {index.status_count} statuses "
+            f"({1e3 * elapsed:.1f} ms, key {index.cache_key[:12]})"
+        )
+        if args.save:
+            path = index.save(args.save)
+            print(
+                f"index written to {path} ({path.stat().st_size} bytes)"
+            )
         return 0
 
     if args.target == "trace":

@@ -21,20 +21,28 @@ paper's complexity claims.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass
-from typing import Literal, Optional, Sequence
+from typing import Literal, Optional, Sequence, Union
 
 import numpy as np
 
 from repro import obs
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.core.closed_form import ClosedFormSolution, solve_closed_form
-from repro.core.consolidation import ConsolidationIndex
+from repro.core.consolidation import (
+    ConsolidationIndex,
+    consolidation_cache_key,
+)
 from repro.core.model import SystemModel
 from repro.core.select import brute_force_subset, optimal_subset
 
 SelectionMethod = Literal["index", "exact", "brute"]
 CostModel = Literal["paper", "actuated"]
+
+#: Interior grid points probed in one batch to shrink the ``maxL``
+#: bisection bracket before the sequential refinement loop.
+_BRACKET_PROBES = 14
 
 
 @dataclass(frozen=True)
@@ -89,6 +97,13 @@ class JointOptimizer:
         fixed).  ``"actuated"`` composes Eq. 10 with the fitted actuation
         map, which accounts for the set point moving together with the
         supply temperature; exposed for the ablation study.
+    index_cache_dir:
+        Optional directory of persisted Algorithm-1 indexes.  When set,
+        the lazy :attr:`index` build first looks for a ``.npz`` named by
+        the parameters' content hash and loads it instead of re-running
+        the O(n^3 log n) pre-processing; a fresh build is written back
+        for the next run.  Stale or corrupt files are rebuilt, never
+        trusted.
     """
 
     def __init__(
@@ -96,6 +111,7 @@ class JointOptimizer:
         model: SystemModel,
         selection: SelectionMethod = "index",
         cost_model: CostModel = "paper",
+        index_cache_dir: Optional[Union[str, pathlib.Path]] = None,
     ) -> None:
         if selection not in ("index", "exact", "brute"):
             raise ConfigurationError(f"unknown selection method {selection!r}")
@@ -104,6 +120,9 @@ class JointOptimizer:
         self.model = model
         self.selection = selection
         self.cost_model = cost_model
+        self.index_cache_dir = (
+            None if index_cache_dir is None else pathlib.Path(index_cache_dir)
+        )
         self._index: Optional[ConsolidationIndex] = None
 
     # ------------------------------------------------------------------ #
@@ -143,12 +162,16 @@ class JointOptimizer:
 
     @property
     def index(self) -> ConsolidationIndex:
-        """The lazily built Algorithm-1 structure (shared across queries)."""
+        """The lazily built Algorithm-1 structure (shared across queries).
+
+        With ``index_cache_dir`` set, a persisted index for the same
+        parameters is loaded instead of rebuilt, and fresh builds are
+        written back to the cache.
+        """
         if self._index is None:
             w2_eff, rho = self._cost_coefficients()
             t_min, t_max = self._t_bounds()
-            obs.count("optimizer.index_builds")
-            self._index = ConsolidationIndex(
+            kwargs = dict(
                 pairs=self.model.ab_pairs(),
                 w2=w2_eff,
                 rho=rho,
@@ -156,7 +179,41 @@ class JointOptimizer:
                 t_max=t_max,
                 capacities=self.model.capacities,
             )
+            if self.index_cache_dir is not None:
+                self._index = self._cached_index(kwargs)
+            else:
+                obs.count("optimizer.index_builds")
+                self._index = ConsolidationIndex(**kwargs)
         return self._index
+
+    def _cached_index(self, kwargs: dict) -> ConsolidationIndex:
+        from repro.core.serialization import (
+            load_consolidation_index,
+            save_consolidation_index,
+        )
+
+        key = consolidation_cache_key(
+            kwargs["pairs"],
+            w2=kwargs["w2"],
+            rho=kwargs["rho"],
+            t_min=kwargs["t_min"],
+            t_max=kwargs["t_max"],
+            capacities=kwargs["capacities"],
+        )
+        path = self.index_cache_dir / f"consolidation-{key[:24]}.npz"
+        if path.exists():
+            try:
+                index = load_consolidation_index(path, expected_key=key)
+                obs.count("optimizer.index_cache_hits")
+                return index
+            except ConfigurationError:
+                obs.count("optimizer.index_cache_invalid")
+        obs.count("optimizer.index_cache_misses")
+        obs.count("optimizer.index_builds")
+        index = ConsolidationIndex(**kwargs)
+        self.index_cache_dir.mkdir(parents=True, exist_ok=True)
+        save_consolidation_index(index, path)
+        return index
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -258,6 +315,43 @@ class JointOptimizer:
                 load, exclude=sorted(excluded)
             ).predicted_total_power
 
+        def predicted_many(loads: Sequence[float]) -> list[float]:
+            """Batched probes for the bracketing grid.
+
+            On the index path one :meth:`ConsolidationIndex.query_many`
+            answers every selection at once (amortizing the binary
+            searches and warming the query memo for the sequential
+            refinement); budget-infeasible probes report infinite power,
+            which the monotone bracket treats as "over budget".
+            """
+            loads = [float(v) for v in loads]
+            obs.count("optimizer.max_load_probes", len(loads))
+            if self.selection != "index" or excluded:
+                powers = []
+                for load in loads:
+                    try:
+                        powers.append(
+                            self.solve(
+                                load, exclude=sorted(excluded)
+                            ).predicted_total_power
+                        )
+                    except InfeasibleError:
+                        powers.append(float("inf"))
+                return powers
+            on_sets = self.index.query_many(loads, skip_infeasible=True)
+            powers = []
+            for load, chosen in zip(loads, on_sets):
+                if chosen is None:
+                    powers.append(float("inf"))
+                    continue
+                try:
+                    solution = solve_closed_form(self.model, chosen, load)
+                except InfeasibleError:
+                    powers.append(float("inf"))
+                    continue
+                powers.append(solution.predicted_total_power)
+            return powers
+
         with obs.record_run(
             "optimizer.max_load",
             inputs={"power_budget": float(power_budget)},
@@ -274,6 +368,17 @@ class JointOptimizer:
                 result = self.solve(hi, exclude=sorted(excluded))
                 max_load = hi
             else:
+                # One batched grid pass shrinks the bracket by
+                # ~(_BRACKET_PROBES + 1)x before the bisection refines it;
+                # predicted power is monotone in the load, so the first
+                # over-budget grid point bounds the answer from above.
+                grid = np.linspace(lo, hi, _BRACKET_PROBES + 2)[1:-1]
+                for load, power in zip(grid, predicted_many(grid)):
+                    if power <= power_budget:
+                        lo = float(load)
+                    else:
+                        hi = float(load)
+                        break
                 while hi - lo > tolerance * capacity:
                     mid = 0.5 * (lo + hi)
                     if predicted(mid) <= power_budget:

@@ -75,8 +75,11 @@ def top_k_at(pairs: Sequence[Pair], t: float, k: int) -> list[int]:
             f"k must be in [1, {len(pairs)}], got {k}"
         )
     x = coordinates_at(pairs, t)
-    order = sorted(range(len(pairs)), key=lambda i: (-x[i], i))
-    return sorted(order[:k])
+    # Stable argsort on the negated coordinates == descending order with
+    # ties broken toward the lower index (same contract as the previous
+    # Python sort, at numpy speed: this sits inside the Dinkelbach loop).
+    order = np.argsort(-x, kind="stable")
+    return sorted(int(i) for i in order[:k])
 
 
 def max_load(pairs: Sequence[Pair], t: float, k: int) -> float:

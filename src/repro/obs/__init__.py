@@ -29,6 +29,7 @@ from repro.obs import trace, watchdog
 from repro.obs.export import (
     bench_observability,
     validate_bench_observability,
+    validate_consolidation_scale,
     write_bench_observability,
 )
 from repro.obs.metrics import (
@@ -112,6 +113,7 @@ __all__ = [
     "bench_observability",
     "write_bench_observability",
     "validate_bench_observability",
+    "validate_consolidation_scale",
     # tracing
     "trace",
     "TRACE_SCHEMA_VERSION",

@@ -12,6 +12,12 @@ tier-1 (``tests/test_bench_schema.py``): any future change to the
 emitted shape must update the validator (and the documented schema in
 ``docs/observability.md``) in the same PR, so drift is caught at test
 time rather than by a broken dashboard.
+
+The consolidation scale bench (``benchmarks/bench_consolidation_scale.py``)
+writes a second artifact, ``benchmarks/results/consolidation_scale.json``
+— per-``n`` build/query timings of the vectorized Algorithm 1 against
+the pure-Python reference — validated by
+:func:`validate_consolidation_scale` under the same drift contract.
 """
 
 from __future__ import annotations
@@ -146,4 +152,109 @@ def validate_bench_observability(document: Mapping) -> None:
             if not isinstance(value, int) or value < 0:
                 raise ConfigurationError(
                     f"trace {key!r} must be a non-negative int"
+                )
+
+
+#: Keys every consolidation-scale entry must carry.
+_SCALE_ENTRY_KEYS = (
+    "n", "events", "statuses", "queries", "build_seconds",
+    "baseline_build_seconds", "speedup", "query_seconds_single",
+    "query_seconds_batched", "identical_answers",
+)
+
+
+def validate_consolidation_scale(document: Mapping) -> None:
+    """Raise :class:`ConfigurationError` unless ``document`` is a valid
+    consolidation-scale record.
+
+    Shape (written by ``benchmarks/bench_consolidation_scale.py`` to
+    ``benchmarks/results/consolidation_scale.json``)::
+
+        {
+          "schema": 1,
+          "kind": "consolidation-scale",
+          "seed": <int>,
+          "entries": [
+            {
+              "n": <machines>, "events": <int>, "statuses": <int>,
+              "queries": <int>,
+              "build_seconds": <vectorized build, s>,
+              "baseline_build_seconds": <pure-Python build, s> | null,
+              "speedup": <baseline / vectorized> | null,
+              "query_seconds_single": <mean per one-at-a-time query, s>,
+              "query_seconds_batched": <mean per query via query_many, s>,
+              "identical_answers": true | null
+            }, ...
+          ]
+        }
+
+    ``baseline_build_seconds`` / ``speedup`` / ``identical_answers`` are
+    ``null`` for sizes where the pure-Python baseline was skipped; when
+    the baseline ran, ``identical_answers`` records that both engines
+    returned byte-identical tables and query answers (the bench asserts
+    it, the schema requires the stamp to be present and true).
+    """
+    if not isinstance(document, Mapping):
+        raise ConfigurationError(
+            "consolidation-scale document must be a mapping"
+        )
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported consolidation-scale schema "
+            f"{document.get('schema')!r} (expected {SCHEMA_VERSION})"
+        )
+    if document.get("kind") != "consolidation-scale":
+        raise ConfigurationError(
+            f"not a consolidation-scale record "
+            f"(kind={document.get('kind')!r})"
+        )
+    if not isinstance(document.get("seed"), int):
+        raise ConfigurationError("'seed' must be an int")
+    entries = document.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ConfigurationError("'entries' must be a non-empty list")
+    for entry in entries:
+        if not isinstance(entry, Mapping):
+            raise ConfigurationError("each entry must be a map")
+        missing = [k for k in _SCALE_ENTRY_KEYS if k not in entry]
+        if missing:
+            raise ConfigurationError(f"entry missing {missing}")
+        for key in ("n", "events", "statuses", "queries"):
+            value = entry[key]
+            if not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"entry {key!r} must be a non-negative int"
+                )
+        if entry["n"] < 1:
+            raise ConfigurationError("entry 'n' must be at least 1")
+        for key in ("build_seconds", "query_seconds_single",
+                    "query_seconds_batched"):
+            value = entry[key]
+            if not isinstance(value, (int, float)) or value < 0.0:
+                raise ConfigurationError(
+                    f"entry {key!r} must be a non-negative number"
+                )
+        baseline = entry["baseline_build_seconds"]
+        speedup = entry["speedup"]
+        identical = entry["identical_answers"]
+        if baseline is None:
+            if speedup is not None or identical is not None:
+                raise ConfigurationError(
+                    "'speedup' and 'identical_answers' must be null "
+                    "when the baseline was skipped"
+                )
+        else:
+            if not isinstance(baseline, (int, float)) or baseline < 0.0:
+                raise ConfigurationError(
+                    "'baseline_build_seconds' must be a non-negative "
+                    "number or null"
+                )
+            if not isinstance(speedup, (int, float)) or speedup < 0.0:
+                raise ConfigurationError(
+                    "'speedup' must accompany a measured baseline"
+                )
+            if identical is not True:
+                raise ConfigurationError(
+                    "'identical_answers' must be true when the baseline "
+                    "ran — engines disagreed or the stamp is missing"
                 )

@@ -113,6 +113,96 @@ def test_validator_rejects_malformed_trace_section(solved_registry, trace):
         obs.validate_bench_observability(document)
 
 
+def _scale_entry(**overrides):
+    entry = {
+        "n": 20, "events": 150, "statuses": 3020, "queries": 64,
+        "build_seconds": 0.01, "baseline_build_seconds": 0.2,
+        "speedup": 20.0, "query_seconds_single": 1e-4,
+        "query_seconds_batched": 5e-5, "identical_answers": True,
+    }
+    entry.update(overrides)
+    return entry
+
+
+def _scale_document(**entry_overrides):
+    return {
+        "schema": obs.SCHEMA_VERSION,
+        "kind": "consolidation-scale",
+        "seed": 2012,
+        "entries": [_scale_entry(**entry_overrides)],
+    }
+
+
+class TestConsolidationScaleSchema:
+    def test_fresh_document_validates(self):
+        obs.validate_consolidation_scale(_scale_document())
+
+    def test_baseline_skipped_entry_validates(self):
+        obs.validate_consolidation_scale(
+            _scale_document(
+                baseline_build_seconds=None, speedup=None,
+                identical_answers=None,
+            )
+        )
+
+    def test_existing_scale_artifact_validates(self):
+        path = RESULTS_DIR / "consolidation_scale.json"
+        if not path.exists():
+            pytest.skip("no consolidation-scale artifact present")
+        obs.validate_consolidation_scale(json.loads(path.read_text()))
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            {"schema": 99},
+            {"kind": "something-else"},
+            {"seed": "2012"},
+            {"entries": []},
+            {"entries": ["not a map"]},
+        ],
+        ids=["schema", "kind", "seed", "empty-entries", "entry-type"],
+    )
+    def test_rejects_malformed_documents(self, mutate):
+        document = _scale_document()
+        document.update(mutate)
+        with pytest.raises(ConfigurationError):
+            obs.validate_consolidation_scale(document)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"n": 0},
+            {"events": -1},
+            {"build_seconds": -0.5},
+            {"build_seconds": "fast"},
+            {"queries": 1.5},
+            # speedup / identical stamps must be null together with a
+            # skipped baseline...
+            {"baseline_build_seconds": None},
+            {"baseline_build_seconds": None, "speedup": None},
+            # ...and present (with identical_answers strictly true) when
+            # the baseline ran.
+            {"speedup": None},
+            {"identical_answers": False},
+            {"identical_answers": None},
+        ],
+        ids=["n", "events", "build-neg", "build-type", "queries-type",
+             "null-baseline-speedup", "null-baseline-identical",
+             "missing-speedup", "identical-false", "identical-null"],
+    )
+    def test_rejects_malformed_entries(self, overrides):
+        with pytest.raises(ConfigurationError):
+            obs.validate_consolidation_scale(
+                _scale_document(**overrides)
+            )
+
+    def test_rejects_missing_entry_keys(self):
+        document = _scale_document()
+        del document["entries"][0]["speedup"]
+        with pytest.raises(ConfigurationError, match="missing"):
+            obs.validate_consolidation_scale(document)
+
+
 def test_validator_rejects_inconsistent_stage_stats():
     bad = {
         "schema": obs.SCHEMA_VERSION,

@@ -36,6 +36,33 @@ class TestCli:
         assert "ON set" in out
         assert "T_ac" in out
 
+    # NB: seed 7 here, not 99 — the metrics test below depends on the
+    # (seed=99, machines=6) default_context being built fresh under
+    # instrumentation.
+    def test_index_target_builds_and_saves(self, capsys, tmp_path):
+        save = tmp_path / "idx.npz"
+        assert main(
+            ["index", "--machines", "6", "--seed", "7",
+             "--save", str(save)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "consolidation index for 6 machines" in out
+        assert "statuses" in out
+        assert save.exists()
+        assert f"index written to {save}" in out
+
+    def test_index_target_uses_cache_dir(self, capsys, tmp_path):
+        args = ["index", "--machines", "6", "--seed", "7",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        cached = list(tmp_path.glob("consolidation-*.npz"))
+        assert len(cached) == 1
+        # Second invocation loads the persisted index (same key).
+        assert main(args) == 0
+        assert "key" in capsys.readouterr().out
+        assert list(tmp_path.glob("consolidation-*.npz")) == cached
+
     def test_contextual_figure_runs(self, capsys):
         assert main(["fig10"]) == 0
         out = capsys.readouterr().out
