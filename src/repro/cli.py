@@ -16,6 +16,8 @@ Usage::
     repro trace --chrome trace.json # ... also export for chrome://tracing
     repro dashboard --trace trace.jsonl   # render a recorded trace
     repro dashboard                 # run the scenario and render it live
+    repro faults --machines 6       # fault campaign -> resilience.json
+    repro faults --quick --seed 7   # two-scenario smoke campaign
 
 Heavy contexts (profiling campaigns) are cached per process, so ``repro
 all`` profiles the testbed once.
@@ -76,11 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         help="figure id (fig1..fig10, headline, algorithms), 'all', "
-        "'list', 'profile', 'solve', 'index', 'metrics', 'trace', or "
-        "'dashboard'",
+        "'list', 'profile', 'solve', 'index', 'metrics', 'trace', "
+        "'dashboard', or 'faults'",
     )
     parser.add_argument(
-        "--seed", type=int, default=2012, help="testbed build seed"
+        "--seed",
+        type=int,
+        default=2012,
+        help="the single determinism seed: testbed build, profiling "
+        "noise, fault schedules, and harness sensors all derive from it "
+        "(see docs/resilience.md for the contract)",
     )
     parser.add_argument(
         "--machines", type=int, default=20, help="machines on the rack"
@@ -124,8 +131,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out",
         default=None,
-        help="where to write the JSONL trace (trace target only; "
-        "default trace.jsonl)",
+        help="output path: the JSONL trace (trace target; default "
+        "trace.jsonl) or the campaign document (faults target; default "
+        "benchmarks/results/resilience.json)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the two-scenario smoke campaign instead of the full "
+        "reference set (faults target only)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="path to a scenario JSON spec to run instead of the "
+        "built-in reference scenarios (faults target only)",
+    )
+    parser.add_argument(
+        "--load-fraction",
+        type=float,
+        default=0.7,
+        help="operating point for a --scenario campaign, as a fraction "
+        "of cluster capacity (faults target only)",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        help="directory for per-scenario fault-event JSONL exports — "
+        "the byte-identical determinism artifact (faults target only)",
     )
     parser.add_argument(
         "--chrome",
@@ -203,8 +236,65 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.target == "list":
         for name in [*standalone, *contextual, "all", "profile", "solve",
-                     "index", "report", "metrics", "trace", "dashboard"]:
+                     "index", "report", "metrics", "trace", "dashboard",
+                     "faults"]:
             print(name)
+        return 0
+
+    if args.target == "faults":
+        import pathlib
+
+        from repro.faults import run_campaign
+        from repro.faults.campaign import CONTROLLERS, ReferenceScenario
+        from repro.faults.scenario import FaultScenario, events_to_jsonl
+        from repro.obs.export import write_resilience
+
+        scenarios = None
+        if args.scenario:
+            spec = FaultScenario.from_json(
+                pathlib.Path(args.scenario).read_text()
+            )
+            scenarios = [
+                ReferenceScenario(
+                    scenario=spec.with_seed(args.seed),
+                    load_fraction=args.load_fraction,
+                    description=f"custom scenario from {args.scenario}",
+                )
+            ]
+        results, document = run_campaign(
+            seed=args.seed,
+            n_machines=args.machines,
+            quick=args.quick,
+            scenarios=scenarios,
+        )
+        for entry in document["scenarios"]:
+            print(f"{entry['name']} (load {entry['load_fraction']:.0%}):")
+            for controller in CONTROLLERS:
+                row = entry["controllers"][controller]
+                overhead = row["energy_overhead_vs_oracle"]
+                print(
+                    f"  {controller:10s} "
+                    f"violation={row['violation_seconds']:7.0f} s "
+                    f"(graced {row['violation_seconds_after_grace']:6.0f} s) "
+                    f"energy={row['energy_joules'] / 1e6:7.2f} MJ "
+                    + (
+                        f"(+{overhead:.1%} vs oracle)"
+                        if overhead is not None and controller != "oracle"
+                        else ""
+                    )
+                )
+        out = pathlib.Path(args.out or "benchmarks/results/resilience.json")
+        write_resilience(out, document)
+        print(f"campaign document written to {out}")
+        if args.events_out:
+            events_dir = pathlib.Path(args.events_out)
+            events_dir.mkdir(parents=True, exist_ok=True)
+            for result in results:
+                path = events_dir / f"{result.name}.events.jsonl"
+                path.write_text(
+                    events_to_jsonl(result.runs["resilient"].fault_events)
+                )
+                print(f"fault events written to {path}")
         return 0
 
     if args.target == "index":

@@ -94,6 +94,13 @@ class RuntimeController:
         self.reconfigurations: int = 0
         self.suppressed: int = 0
         self.failed: set[int] = set()
+        # A failure reported since the last accepted plan forces the next
+        # observation to re-plan even inside the dwell window.
+        self._failure_pending: bool = False
+        # Optional repro.faults.FaultInjector; observe() advances it and
+        # syncs machine_crash state into mark_failed/mark_repaired.
+        self.fault_injector = None
+        self._injector_failed: frozenset = frozenset()
 
     @property
     def plan(self) -> Optional[OptimizationResult]:
@@ -151,6 +158,7 @@ class RuntimeController:
             wd.check_replan(self, result, self._planned_for)
         self._plan = result
         self._last_change = time
+        self._failure_pending = False
         self.reconfigurations += 1
         obs.count("controller.reconfigurations")
         self.events.append(
@@ -167,12 +175,15 @@ class RuntimeController:
 
     def mark_failed(self, machine_id: int) -> None:
         """Record a hardware failure; the next observation re-plans
-        around it (immediately, bypassing dwell — capacity may be gone)."""
+        around it (immediately, bypassing both dwell and hysteresis —
+        capacity may be gone, and a suppressed-replan window must not
+        swallow the alert)."""
         if not 0 <= machine_id < self.optimizer.model.node_count:
             raise ConfigurationError(
                 f"unknown machine id {machine_id}"
             )
         self.failed.add(machine_id)
+        self._failure_pending = True
         if self._plan is not None and machine_id in self._plan.on_ids:
             self._plan = None  # the active plan uses dead hardware
 
@@ -181,6 +192,24 @@ class RuntimeController:
         re-plan; no forced reconfiguration)."""
         self.failed.discard(machine_id)
 
+    def attach_fault_injector(self, injector) -> None:
+        """Subscribe to a :class:`repro.faults.FaultInjector`: every
+        observation advances the injector's replay and mirrors its
+        ``machine_crash`` state through :meth:`mark_failed` /
+        :meth:`mark_repaired` (a hardware health feed)."""
+        self.fault_injector = injector
+        self._injector_failed = frozenset()
+        if injector is not None:
+            self._sync_injector_faults()
+
+    def _sync_injector_faults(self) -> None:
+        current = self.fault_injector.failed_machines
+        for machine in sorted(current - self._injector_failed):
+            self.mark_failed(machine)
+        for machine in sorted(self._injector_failed - current):
+            self.mark_repaired(machine)
+        self._injector_failed = current
+
     def _needs_replan(self, load: float) -> Optional[str]:
         if self._plan is None:
             return (
@@ -188,6 +217,10 @@ class RuntimeController:
                 if not self.events
                 else "active plan lost a machine"
             )
+        if self._failure_pending:
+            # A machine failed since the last accepted plan (even one the
+            # plan wasn't using — the feasible set shrank either way).
+            return "hardware failure"
         if load > self._planned_for:
             # The plan (which already includes headroom) no longer covers
             # the offered load.
@@ -209,11 +242,18 @@ class RuntimeController:
         """
         if load < 0.0:
             raise ConfigurationError(f"load must be non-negative, got {load}")
+        if self.fault_injector is not None:
+            self.fault_injector.advance(time)
+            self._sync_injector_faults()
         reason = self._needs_replan(load)
         if reason is None:
             return None
         dwell_ok = (time - self._last_change) >= self.min_dwell
-        urgent = self._plan is None or load > self._planned_for
+        urgent = (
+            self._plan is None
+            or load > self._planned_for
+            or self._failure_pending
+        )
         if not dwell_ok and not urgent:
             # Scale-down within dwell: keep the old (over-provisioned but
             # safe) plan rather than flapping.
@@ -227,51 +267,85 @@ class RuntimeController:
                 dwell_remaining=self.min_dwell - (time - self._last_change),
             )
             return None
-        capacity = sum(
-            c
-            for i, c in enumerate(self.optimizer.model.capacities)
-            if i not in self.failed
-        )
+        capacity = self.surviving_capacity()
         target = min(max(load * self.headroom, 1e-6), capacity)
         if load > capacity + 1e-9:
             raise InfeasibleError(
                 f"offered load {load:.1f} exceeds surviving capacity "
                 f"{capacity:.1f}"
             )
+        return self._replan(time, load, target, reason)
+
+    def surviving_capacity(self) -> float:
+        """Total task capacity of machines not marked failed."""
+        return sum(
+            c
+            for i, c in enumerate(self.optimizer.model.capacities)
+            if i not in self.failed
+        )
+
+    def _replan(
+        self, time: float, load: float, target: float, reason: str
+    ) -> Optional[OptimizationResult]:
+        """Solve for ``target`` and adopt the plan; on infeasibility keep
+        the previous plan (or raise if there is none).  Subclasses
+        override this seam to add degraded-mode strategies."""
         try:
-            with obs.timed("controller/replan"):
-                obs.set_span_attributes(
-                    time=time, offered_load=load, planned_load=target,
-                    reason=reason,
-                )
-                result = self.optimizer.solve(
-                    target, exclude=sorted(self.failed)
-                )
+            result = self._solve_plan(time, load, target, reason)
         except InfeasibleError as exc:
-            obs.count("controller.replan_infeasible")
-            wd = _watchdog._active
-            if wd is not None:
-                wd.notify_infeasible(str(exc), time=time, offered_load=load)
-            else:
-                obs.add_event(
-                    "constraint.violation",
-                    monitor="replan",
-                    metric="replan.feasible",
-                    message=str(exc),
-                    time=time,
-                    offered_load=load,
-                )
+            self._note_infeasible(exc, time, load)
             if self._plan is None:
                 raise
             # Keep the previous (still-valid) plan active rather than
             # leaving the room uncontrolled.
             return None
+        self._accept_plan(time, load, target, result, reason)
+        return result
+
+    def _solve_plan(
+        self, time: float, load: float, target: float, reason: str
+    ) -> OptimizationResult:
+        """One observed solve attempt, always excluding failed machines
+        (a failed machine can never reappear in a plan until repaired)."""
+        with obs.timed("controller/replan"):
+            obs.set_span_attributes(
+                time=time, offered_load=load, planned_load=target,
+                reason=reason,
+            )
+            return self.optimizer.solve(target, exclude=sorted(self.failed))
+
+    def _note_infeasible(
+        self, exc: InfeasibleError, time: float, load: float
+    ) -> None:
+        obs.count("controller.replan_infeasible")
+        wd = _watchdog._active
+        if wd is not None:
+            wd.notify_infeasible(str(exc), time=time, offered_load=load)
+        else:
+            obs.add_event(
+                "constraint.violation",
+                monitor="replan",
+                metric="replan.feasible",
+                message=str(exc),
+                time=time,
+                offered_load=load,
+            )
+
+    def _accept_plan(
+        self,
+        time: float,
+        load: float,
+        target: float,
+        result: OptimizationResult,
+        reason: str,
+    ) -> None:
         wd = _watchdog._active
         if wd is not None:
             wd.check_replan(self, result, load)
         self._plan = result
         self._planned_for = target
         self._last_change = time
+        self._failure_pending = False
         self.reconfigurations += 1
         obs.count("controller.reconfigurations")
         self.events.append(
@@ -284,7 +358,6 @@ class RuntimeController:
                 reason=reason,
             )
         )
-        return result
 
     def _prefetch_trace(self, trace, dt: float) -> None:
         """Warm the consolidation index for every planning target the

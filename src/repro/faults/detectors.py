@@ -1,0 +1,182 @@
+"""Model-free sensor plausibility checks for degraded-mode control.
+
+The optimizer drives every powered-on CPU toward ``T_max`` exactly, so a
+single corrupted temperature reading can either mask a real violation
+(stuck low) or trigger a spurious emergency derate (stuck high, spike).
+:class:`SensorQuarantine` watches the per-machine reading stream and
+quarantines sensors that fail cheap plausibility checks:
+
+- **dropout** — ``NaN`` readings for ``dropout_window`` consecutive
+  samples;
+- **stuck-value** — ``stuck_window`` consecutive readings within
+  ``stuck_tolerance`` of each other (real CPU sensors always jitter;
+  the closed loop in :mod:`repro.faults.campaign` reads through a
+  fine-resolution, low-noise sensor so healthy streams vary);
+- **rate-of-change** — a jump faster than ``max_rate`` K/s between
+  consecutive samples (physically implausible for the pod thermal
+  masses in :mod:`repro.thermal.simulation`).
+
+Recovery is hysteretic: a quarantined sensor must produce
+``recovery_hold`` consecutive plausible readings before it is restored.
+Decisions are returned as :class:`QuarantineDecision` rows and mirrored
+as ``fault.sensor_quarantined`` / ``recovery.sensor_restored`` obs
+events plus counters.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QuarantineDecision:
+    """One change of a sensor's trust state."""
+
+    sensor: int
+    time: float
+    action: str  # "quarantine" | "restore"
+    reason: str  # "dropout" | "stuck" | "rate" | "recovered"
+
+
+class SensorQuarantine:
+    """Tracks which per-machine temperature sensors are trustworthy."""
+
+    def __init__(
+        self,
+        n_sensors: int,
+        *,
+        stuck_window: int = 5,
+        stuck_tolerance: float = 1e-6,
+        max_rate: float = 2.0,
+        dropout_window: int = 2,
+        recovery_hold: int = 3,
+    ) -> None:
+        if n_sensors <= 0:
+            raise ConfigurationError(
+                f"need at least one sensor, got {n_sensors}"
+            )
+        if stuck_window < 2:
+            raise ConfigurationError(
+                f"stuck_window must be at least 2, got {stuck_window}"
+            )
+        if stuck_tolerance < 0.0 or max_rate <= 0.0:
+            raise ConfigurationError(
+                "stuck_tolerance must be non-negative and max_rate positive"
+            )
+        if dropout_window < 1 or recovery_hold < 1:
+            raise ConfigurationError(
+                "dropout_window and recovery_hold must be at least 1"
+            )
+        self.n_sensors = n_sensors
+        self.stuck_window = stuck_window
+        self.stuck_tolerance = stuck_tolerance
+        self.max_rate = max_rate
+        self.dropout_window = dropout_window
+        self.recovery_hold = recovery_hold
+        self._history: list[deque] = [
+            deque(maxlen=stuck_window) for _ in range(n_sensors)
+        ]
+        self._last: list = [None] * n_sensors  # (time, value)
+        self._nan_streak = [0] * n_sensors
+        self._plausible_streak = [0] * n_sensors
+        self._quarantined: set[int] = set()
+        self.decisions: list[QuarantineDecision] = []
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def quarantined(self) -> frozenset:
+        """Sensors currently distrusted."""
+        return frozenset(self._quarantined)
+
+    def plausible_mask(self) -> np.ndarray:
+        """Boolean mask of sensors currently trusted."""
+        mask = np.ones(self.n_sensors, dtype=bool)
+        for i in self._quarantined:
+            mask[i] = False
+        return mask
+
+    def update(self, time: float, readings) -> list[QuarantineDecision]:
+        """Ingest one synchronized reading vector; return state changes."""
+        values = np.asarray(readings, dtype=float)
+        if values.shape != (self.n_sensors,):
+            raise ConfigurationError(
+                f"expected {self.n_sensors} readings, got shape {values.shape}"
+            )
+        changed: list[QuarantineDecision] = []
+        for i, value in enumerate(values):
+            decision = self._ingest(i, float(time), float(value))
+            if decision is not None:
+                changed.append(decision)
+        return changed
+
+    # ------------------------------------------------------------------ #
+
+    def _ingest(self, i, time, value):
+        if not math.isfinite(value):
+            self._nan_streak[i] += 1
+            self._plausible_streak[i] = 0
+            if (
+                i not in self._quarantined
+                and self._nan_streak[i] >= self.dropout_window
+            ):
+                return self._quarantine(i, time, "dropout")
+            return None
+        self._nan_streak[i] = 0
+        last = self._last[i]
+        self._last[i] = (time, value)
+        history = self._history[i]
+        history.append(value)
+        rate_ok = True
+        if last is not None:
+            dt = time - last[0]
+            if dt > 0.0 and abs(value - last[1]) / dt > self.max_rate:
+                rate_ok = False
+        stuck = (
+            len(history) == self.stuck_window
+            and max(history) - min(history) <= self.stuck_tolerance
+        )
+        if i not in self._quarantined:
+            if not rate_ok:
+                return self._quarantine(i, time, "rate")
+            if stuck:
+                return self._quarantine(i, time, "stuck")
+            return None
+        if rate_ok and not stuck:
+            self._plausible_streak[i] += 1
+            if self._plausible_streak[i] >= self.recovery_hold:
+                return self._restore(i, time)
+        else:
+            self._plausible_streak[i] = 0
+        return None
+
+    def _quarantine(self, i, time, reason):
+        self._quarantined.add(i)
+        self._plausible_streak[i] = 0
+        decision = QuarantineDecision(
+            sensor=i, time=time, action="quarantine", reason=reason
+        )
+        self.decisions.append(decision)
+        obs.count("faults.sensors_quarantined")
+        obs.add_event(
+            "fault.sensor_quarantined", time=time, sensor=i, reason=reason
+        )
+        return decision
+
+    def _restore(self, i, time):
+        self._quarantined.discard(i)
+        self._plausible_streak[i] = 0
+        decision = QuarantineDecision(
+            sensor=i, time=time, action="restore", reason="recovered"
+        )
+        self.decisions.append(decision)
+        obs.count("faults.sensors_restored")
+        obs.add_event("recovery.sensor_restored", time=time, sensor=i)
+        return decision

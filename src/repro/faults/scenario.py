@@ -1,0 +1,352 @@
+"""Declarative fault scenarios: seeded, composable, replayable schedules.
+
+A :class:`FaultScenario` is a pure description — a name, a seed, and a
+tuple of :class:`FaultSpec` entries, each a time window during which one
+disturbance is active.  Scenarios carry no runtime state: the
+:class:`~repro.faults.injection.FaultInjector` compiles one into a
+transition timeline and replays it, and two injectors built from the
+same ``(spec, seed)`` produce byte-identical fault-event JSONL and
+identical stochastic corruption (per-fault RNG streams are derived from
+the scenario seed with :class:`numpy.random.SeedSequence` spawn keys, so
+adding a fault never perturbs the streams of earlier ones).
+
+Fault kinds
+-----------
+
+``machine_crash``
+    Machine ``machine`` dies at ``at`` and is repaired at ``until``
+    (``None`` = never).  A crashed machine draws no power and serves no
+    load regardless of what any controller commands.
+``sensor_dropout``
+    The CPU temperature sensor of ``machine`` returns no reading
+    (``NaN``) during the window.
+``sensor_stuck``
+    The sensor reports a frozen value: ``value`` if given, else the last
+    reading before onset (held by the injector).
+``sensor_bias``
+    ``magnitude`` kelvin is added to the sensor's readings.
+``sensor_noise``
+    Zero-mean Gaussian noise with standard deviation ``magnitude`` K is
+    added (seeded per fault; see module docstring).
+``ac_derate``
+    The cooling unit's capacity ``q_max`` is multiplied by ``magnitude``
+    (in ``(0, 1]``) during the window — a compressor stage failing.
+``ac_setpoint_drift``
+    The unit regulates to ``commanded + magnitude`` K instead of the
+    commanded set point — a miscalibrated return-air sensor.
+``load_surge``
+    The offered load the controller observes is multiplied by
+    ``magnitude`` during the window.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Every fault kind a spec may carry, with its required target.
+FAULT_KINDS: tuple[str, ...] = (
+    "machine_crash",
+    "sensor_dropout",
+    "sensor_stuck",
+    "sensor_bias",
+    "sensor_noise",
+    "ac_derate",
+    "ac_setpoint_drift",
+    "load_surge",
+)
+
+_MACHINE_KINDS = frozenset(
+    {"machine_crash", "sensor_dropout", "sensor_stuck",
+     "sensor_bias", "sensor_noise"}
+)
+_MAGNITUDE_KINDS = frozenset(
+    {"sensor_bias", "sensor_noise", "ac_derate",
+     "ac_setpoint_drift", "load_surge"}
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One disturbance window of a scenario.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    at:
+        Onset time, seconds from scenario start.
+    until:
+        End of the window (repair time for ``machine_crash``); ``None``
+        keeps the fault active forever.
+    machine:
+        Target machine id for machine/sensor kinds; must be ``None`` for
+        room-level kinds.
+    magnitude:
+        Kind-specific strength (see module docstring); required for the
+        kinds in ``_MAGNITUDE_KINDS``.
+    value:
+        Explicit frozen reading for ``sensor_stuck`` (K).  ``None`` holds
+        the last pre-fault reading.
+    """
+
+    kind: str
+    at: float
+    until: Optional[float] = None
+    machine: Optional[int] = None
+    magnitude: Optional[float] = None
+    value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(FAULT_KINDS)}"
+            )
+        if self.at < 0.0:
+            raise ConfigurationError(
+                f"fault onset must be non-negative, got {self.at}"
+            )
+        if self.until is not None and self.until <= self.at:
+            raise ConfigurationError(
+                f"fault window must end after it starts "
+                f"(at={self.at}, until={self.until})"
+            )
+        if self.kind in _MACHINE_KINDS:
+            if self.machine is None or self.machine < 0:
+                raise ConfigurationError(
+                    f"{self.kind} needs a non-negative target machine"
+                )
+        elif self.machine is not None:
+            raise ConfigurationError(
+                f"{self.kind} is room-level; it takes no machine target"
+            )
+        if self.kind in _MAGNITUDE_KINDS:
+            if self.magnitude is None:
+                raise ConfigurationError(f"{self.kind} needs a magnitude")
+            if self.kind == "ac_derate" and not 0.0 < self.magnitude <= 1.0:
+                raise ConfigurationError(
+                    f"ac_derate magnitude must be in (0, 1], "
+                    f"got {self.magnitude}"
+                )
+            if self.kind == "load_surge" and self.magnitude <= 0.0:
+                raise ConfigurationError(
+                    f"load_surge magnitude must be positive, "
+                    f"got {self.magnitude}"
+                )
+            if self.kind == "sensor_noise" and self.magnitude < 0.0:
+                raise ConfigurationError(
+                    f"sensor_noise magnitude must be non-negative, "
+                    f"got {self.magnitude}"
+                )
+        if self.value is not None and self.kind != "sensor_stuck":
+            raise ConfigurationError(
+                f"only sensor_stuck takes an explicit value, not {self.kind}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (omits unset optionals)."""
+        doc: dict = {"kind": self.kind, "at": self.at}
+        if self.until is not None:
+            doc["until"] = self.until
+        if self.machine is not None:
+            doc["machine"] = self.machine
+        if self.magnitude is not None:
+            doc["magnitude"] = self.magnitude
+        if self.value is not None:
+            doc["value"] = self.value
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        if not isinstance(data, dict):
+            raise ConfigurationError("fault spec must be a mapping")
+        unknown = set(data) - {"kind", "at", "until", "machine",
+                               "magnitude", "value"}
+        if unknown:
+            raise ConfigurationError(
+                f"fault spec has unknown keys: {sorted(unknown)}"
+            )
+        if "kind" not in data or "at" not in data:
+            raise ConfigurationError("fault spec needs 'kind' and 'at'")
+        return cls(
+            kind=str(data["kind"]),
+            at=float(data["at"]),
+            until=None if data.get("until") is None else float(data["until"]),
+            machine=(
+                None if data.get("machine") is None else int(data["machine"])
+            ),
+            magnitude=(
+                None
+                if data.get("magnitude") is None
+                else float(data["magnitude"])
+            ),
+            value=None if data.get("value") is None else float(data["value"]),
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired transition: a fault beginning or ending at runtime.
+
+    Emitted by the :class:`~repro.faults.injection.FaultInjector` and
+    exported as JSONL; the byte-identity of that export across runs is
+    the subsystem's determinism contract (pinned by the tests).
+    """
+
+    time: float
+    kind: str
+    phase: str  # "begin" | "end"
+    fault_index: int
+    machine: Optional[int] = None
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        doc: dict = {
+            "time": self.time,
+            "kind": self.kind,
+            "phase": self.phase,
+            "fault_index": self.fault_index,
+        }
+        if self.machine is not None:
+            doc["machine"] = self.machine
+        if self.detail:
+            doc["detail"] = dict(sorted(self.detail.items()))
+        return doc
+
+
+def events_to_jsonl(events: Iterable[FaultEvent]) -> str:
+    """Canonical JSONL export of fired fault events.
+
+    Keys are sorted and floats use ``repr`` (via :func:`json.dumps`), so
+    the same event sequence always produces the same bytes.
+    """
+    return "".join(
+        json.dumps(event.to_dict(), sort_keys=True) + "\n" for event in events
+    )
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, seeded schedule of fault windows.
+
+    The scenario is immutable and free of runtime state; the injector
+    holds the replay cursor.  ``seed`` drives every stochastic fault
+    (currently ``sensor_noise``): per-fault generators come from
+    ``SeedSequence(seed).spawn``-style keys, so replay is exact.
+    """
+
+    name: str
+    seed: int
+    faults: tuple[FaultSpec, ...]
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario needs a non-empty name")
+        object.__setattr__(self, "faults", tuple(self.faults))
+        if self.duration is not None and self.duration <= 0.0:
+            raise ConfigurationError(
+                f"scenario duration must be positive, got {self.duration}"
+            )
+
+    def rng_for(self, fault_index: int) -> np.random.Generator:
+        """The deterministic RNG stream of one fault."""
+        if not 0 <= fault_index < len(self.faults):
+            raise ConfigurationError(
+                f"no fault at index {fault_index} "
+                f"(scenario has {len(self.faults)})"
+            )
+        seq = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(fault_index,)
+        )
+        return np.random.default_rng(seq)
+
+    def transitions(self) -> list[tuple[float, str, int]]:
+        """The compiled timeline: ``(time, phase, fault_index)`` sorted.
+
+        Ties are broken by (time, end-before-begin, fault index) so the
+        replay order — and therefore the event JSONL — is unique.
+        """
+        rows: list[tuple[float, str, int]] = []
+        for i, spec in enumerate(self.faults):
+            rows.append((spec.at, "begin", i))
+            if spec.until is not None:
+                rows.append((spec.until, "end", i))
+        phase_rank = {"end": 0, "begin": 1}
+        return sorted(rows, key=lambda r: (r[0], phase_rank[r[1]], r[2]))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Canonical JSON document (sorted keys) for this scenario."""
+        doc = {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+        if self.duration is not None:
+            doc["duration"] = self.duration
+        return json.dumps(doc, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultScenario":
+        """Parse a scenario document produced by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid scenario JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConfigurationError("scenario document must be an object")
+        unknown = set(data) - {"name", "seed", "faults", "duration"}
+        if unknown:
+            raise ConfigurationError(
+                f"scenario document has unknown keys: {sorted(unknown)}"
+            )
+        faults = data.get("faults")
+        if not isinstance(faults, list):
+            raise ConfigurationError("'faults' must be a list")
+        return cls(
+            name=str(data.get("name", "")),
+            seed=int(data.get("seed", 0)),
+            faults=tuple(FaultSpec.from_dict(f) for f in faults),
+            duration=(
+                None
+                if data.get("duration") is None
+                else float(data["duration"])
+            ),
+        )
+
+    def with_seed(self, seed: int) -> "FaultScenario":
+        """The same schedule under a different seed."""
+        return FaultScenario(
+            name=self.name, seed=seed, faults=self.faults,
+            duration=self.duration,
+        )
+
+
+def compose(
+    name: str, seed: int, scenarios: Sequence[FaultScenario]
+) -> FaultScenario:
+    """Merge several scenarios into one schedule under a fresh seed.
+
+    Fault windows are concatenated in argument order (so spawn keys —
+    and hence noise streams — follow that order); the duration is the
+    longest of the parts.
+    """
+    if not scenarios:
+        raise ConfigurationError("compose needs at least one scenario")
+    faults: list[FaultSpec] = []
+    durations = [s.duration for s in scenarios if s.duration is not None]
+    for scenario in scenarios:
+        faults.extend(scenario.faults)
+    return FaultScenario(
+        name=name,
+        seed=seed,
+        faults=tuple(faults),
+        duration=max(durations) if durations else None,
+    )

@@ -30,7 +30,9 @@ from repro.obs.export import (
     bench_observability,
     validate_bench_observability,
     validate_consolidation_scale,
+    validate_resilience,
     write_bench_observability,
+    write_resilience,
 )
 from repro.obs.metrics import (
     MAX_HISTOGRAM_SAMPLES,
@@ -114,6 +116,8 @@ __all__ = [
     "write_bench_observability",
     "validate_bench_observability",
     "validate_consolidation_scale",
+    "validate_resilience",
+    "write_resilience",
     # tracing
     "trace",
     "TRACE_SCHEMA_VERSION",

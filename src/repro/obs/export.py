@@ -258,3 +258,181 @@ def validate_consolidation_scale(document: Mapping) -> None:
                     "'identical_answers' must be true when the baseline "
                     "ran — engines disagreed or the stamp is missing"
                 )
+
+
+#: Controllers every resilience scenario must report.
+_RESILIENCE_CONTROLLERS = ("naive", "resilient", "oracle")
+
+#: Metric keys every per-controller resilience row must carry.
+_RESILIENCE_ROW_KEYS = (
+    "violation_seconds", "violation_seconds_after_grace",
+    "recovery_seconds", "energy_joules", "energy_overhead_vs_oracle",
+    "offered_task_seconds", "served_task_seconds", "shed_task_seconds",
+    "reconfigurations", "suppressed", "safe_mode_entries",
+    "sensors_quarantined", "max_t_cpu",
+)
+
+
+def validate_resilience(document: Mapping) -> None:
+    """Raise :class:`ConfigurationError` unless ``document`` is a valid
+    fault-campaign record.
+
+    Shape (written by ``repro faults`` to
+    ``benchmarks/results/resilience.json``; built by
+    :func:`repro.faults.campaign.run_campaign`)::
+
+        {
+          "schema": 1,
+          "kind": "resilience",
+          "seed": <int>, "machines": <int>,
+          "control_dt": <s>, "sim_dt": <s>, "grace_steps": <int>,
+          "scenarios": [
+            {
+              "name": <str>, "description": <str>,
+              "load_fraction": <0..1>, "duration": <s>,
+              "fault_transitions": <int>,
+              "controllers": {
+                "naive" | "resilient" | "oracle": {
+                  "violation_seconds": <s>,
+                  "violation_seconds_after_grace": <s>,
+                  "recovery_seconds": <s> | null,
+                  "energy_joules": <J>,
+                  "energy_overhead_vs_oracle": <ratio> | null,
+                  "offered_task_seconds": <task*s>,
+                  "served_task_seconds": <task*s>,
+                  "shed_task_seconds": <task*s>,
+                  "reconfigurations": <int>, "suppressed": <int>,
+                  "safe_mode_entries": <int>,
+                  "sensors_quarantined": <int>,
+                  "max_t_cpu": <K>
+                }, ...
+              }
+            }, ...
+          ]
+        }
+
+    ``recovery_seconds`` is ``null`` only for a scenario with no fault
+    onsets; the grace-filtered violation count can never exceed the raw
+    one.
+    """
+    if not isinstance(document, Mapping):
+        raise ConfigurationError("resilience document must be a mapping")
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported resilience schema {document.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    if document.get("kind") != "resilience":
+        raise ConfigurationError(
+            f"not a resilience record (kind={document.get('kind')!r})"
+        )
+    for key in ("seed", "machines", "grace_steps"):
+        if not isinstance(document.get(key), int):
+            raise ConfigurationError(f"{key!r} must be an int")
+    for key in ("control_dt", "sim_dt"):
+        value = document.get(key)
+        if not isinstance(value, (int, float)) or value <= 0.0:
+            raise ConfigurationError(f"{key!r} must be a positive number")
+    scenarios = document.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        raise ConfigurationError("'scenarios' must be a non-empty list")
+    for scenario in scenarios:
+        if not isinstance(scenario, Mapping):
+            raise ConfigurationError("each scenario must be a map")
+        name = scenario.get("name")
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError("scenario 'name' must be a non-empty str")
+        fraction = scenario.get("load_fraction")
+        if not isinstance(fraction, (int, float)) or not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(
+                f"scenario {name!r} load_fraction must be in (0, 1]"
+            )
+        duration = scenario.get("duration")
+        if not isinstance(duration, (int, float)) or duration <= 0.0:
+            raise ConfigurationError(
+                f"scenario {name!r} duration must be positive"
+            )
+        transitions = scenario.get("fault_transitions")
+        if not isinstance(transitions, int) or transitions < 0:
+            raise ConfigurationError(
+                f"scenario {name!r} fault_transitions must be a "
+                "non-negative int"
+            )
+        controllers = scenario.get("controllers")
+        if not isinstance(controllers, Mapping):
+            raise ConfigurationError(
+                f"scenario {name!r} 'controllers' map missing"
+            )
+        missing = [
+            c for c in _RESILIENCE_CONTROLLERS if c not in controllers
+        ]
+        if missing:
+            raise ConfigurationError(
+                f"scenario {name!r} missing controllers {missing}"
+            )
+        for controller, row in controllers.items():
+            if not isinstance(row, Mapping):
+                raise ConfigurationError(
+                    f"{name}/{controller} row must be a map"
+                )
+            absent = [k for k in _RESILIENCE_ROW_KEYS if k not in row]
+            if absent:
+                raise ConfigurationError(
+                    f"{name}/{controller} row missing {absent}"
+                )
+            for key in ("violation_seconds", "violation_seconds_after_grace",
+                        "energy_joules", "offered_task_seconds",
+                        "served_task_seconds", "shed_task_seconds"):
+                value = row[key]
+                if not isinstance(value, (int, float)) or value < 0.0:
+                    raise ConfigurationError(
+                        f"{name}/{controller} {key!r} must be a "
+                        "non-negative number"
+                    )
+            for key in ("reconfigurations", "suppressed",
+                        "safe_mode_entries", "sensors_quarantined"):
+                value = row[key]
+                if not isinstance(value, int) or value < 0:
+                    raise ConfigurationError(
+                        f"{name}/{controller} {key!r} must be a "
+                        "non-negative int"
+                    )
+            if not isinstance(row["max_t_cpu"], (int, float)):
+                raise ConfigurationError(
+                    f"{name}/{controller} 'max_t_cpu' must be numeric"
+                )
+            recovery = row["recovery_seconds"]
+            if recovery is not None and (
+                not isinstance(recovery, (int, float)) or recovery < 0.0
+            ):
+                raise ConfigurationError(
+                    f"{name}/{controller} 'recovery_seconds' must be a "
+                    "non-negative number or null"
+                )
+            overhead = row["energy_overhead_vs_oracle"]
+            if overhead is not None and not isinstance(
+                overhead, (int, float)
+            ):
+                raise ConfigurationError(
+                    f"{name}/{controller} 'energy_overhead_vs_oracle' "
+                    "must be numeric or null"
+                )
+            if (
+                row["violation_seconds_after_grace"]
+                > row["violation_seconds"] + 1e-9
+            ):
+                raise ConfigurationError(
+                    f"{name}/{controller}: grace-filtered violations "
+                    "exceed the raw count"
+                )
+
+
+def write_resilience(
+    path: Union[str, pathlib.Path], document: Mapping
+) -> pathlib.Path:
+    """Validate and write a fault-campaign document to ``path``."""
+    target = pathlib.Path(path)
+    validate_resilience(document)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return target

@@ -116,6 +116,10 @@ class RoomSimulation:
         self.on_mask = np.ones(n, dtype=bool)
         self.time = 0.0
         self._last_p_ac = 0.0
+        # Optional repro.faults.FaultInjector (set by attach_simulation);
+        # when None the stepper and set-point path behave exactly as
+        # before the fault subsystem existed.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------ #
     # Inputs
@@ -151,6 +155,11 @@ class RoomSimulation:
         """Command a new cooler set point (K)."""
         if not units.is_valid_temperature(set_point):
             raise ConfigurationError(f"set point out of range: {set_point}")
+        if self.fault_injector is not None:
+            # Active set-point drift lands between the command and the
+            # actuator; the injector records the commanded value.
+            self.fault_injector.command_set_point(set_point)
+            return
         self.cooler.set_point = set_point
 
     # ------------------------------------------------------------------ #
@@ -197,6 +206,8 @@ class RoomSimulation:
         states; the cooler's PI loop updates once per step)."""
         if dt <= 0.0:
             raise ConfigurationError(f"dt must be positive, got {dt}")
+        if self.fault_injector is not None:
+            self.fault_injector.on_simulation_step(self)
         t_ac, p_ac = self.cooler.step(self.t_room, dt)
         self.t_ac = t_ac
         self._last_p_ac = p_ac

@@ -120,6 +120,49 @@ class TestObservabilityDocument:
         assert "observability.md" in (REPO / "docs" / "api.md").read_text()
 
 
+class TestResilienceDocument:
+    def test_every_python_block_executes(self, tmp_path, monkeypatch):
+        from repro import obs
+
+        try:
+            run_document_blocks(
+                REPO / "docs" / "resilience.md", tmp_path, monkeypatch
+            )
+        finally:
+            obs.disable()
+        assert not obs.enabled(), (
+            "resilience.md examples must not leave obs recording enabled"
+        )
+
+    def test_documented_fault_kinds_exist(self):
+        from repro.faults import FAULT_KINDS
+
+        text = (REPO / "docs" / "resilience.md").read_text()
+        for kind in FAULT_KINDS:
+            assert f"`{kind}`" in text, kind
+
+    def test_documented_detector_defaults_match_code(self):
+        import inspect
+
+        from repro.faults import SensorQuarantine
+
+        text = (REPO / "docs" / "resilience.md").read_text()
+        signature = inspect.signature(SensorQuarantine.__init__)
+        for name in ("stuck_window", "stuck_tolerance", "max_rate",
+                     "dropout_window", "recovery_hold"):
+            default = signature.parameters[name].default
+            assert f"`{name}`" in text, name
+            # The parenthesized default next to each threshold name must
+            # match the code (docs rot check).
+            assert f"({default:g}" in text or f"({default}" in text, (
+                f"{name} default {default} not documented"
+            )
+
+    def test_linked_from_readme_and_api(self):
+        assert "docs/resilience.md" in (REPO / "README.md").read_text()
+        assert "resilience.md" in (REPO / "docs" / "api.md").read_text()
+
+
 class TestExperimentsDocument:
     def test_every_paper_figure_has_a_section(self):
         text = (REPO / "EXPERIMENTS.md").read_text()

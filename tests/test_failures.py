@@ -148,7 +148,9 @@ class TestControllerFailureHandling:
         assert victim not in result.on_ids
         assert "lost a machine" in controller.events[-1].reason
 
-    def test_failure_of_idle_machine_keeps_plan(self):
+    def test_failure_of_idle_machine_forces_replan(self):
+        # Even a failure outside the active set forces a re-plan: the
+        # feasible set shrank, and the plan must re-certify against it.
         optimizer = JointOptimizer(make_system_model(n=10))
         controller = RuntimeController(optimizer)
         controller.observe(0.0, 80.0)
@@ -156,7 +158,10 @@ class TestControllerFailureHandling:
             i for i in range(10) if i not in controller.plan.on_ids
         ][0]
         controller.mark_failed(idle)
-        assert controller.observe(10.0, 80.0) is None
+        result = controller.observe(10.0, 80.0)
+        assert result is not None
+        assert idle not in result.on_ids
+        assert controller.events[-1].reason == "hardware failure"
 
     def test_repair_restores_eligibility(self):
         optimizer = JointOptimizer(make_system_model(n=4))
@@ -184,3 +189,74 @@ class TestControllerFailureHandling:
         controller = RuntimeController(optimizer)
         with pytest.raises(ConfigurationError):
             controller.mark_failed(7)
+
+    def test_failure_during_suppressed_window_forces_replan(self):
+        """Interleaving regression: a failure reported while replans are
+        dwell-suppressed must punch through on the very next observe,
+        and the dead machine must stay out of every plan until repaired.
+        """
+        optimizer = JointOptimizer(make_system_model(n=10))
+        controller = RuntimeController(
+            optimizer, hysteresis=0.15, min_dwell=600.0
+        )
+        capacity = sum(optimizer.model.capacities)
+        controller.observe(0.0, 0.4 * capacity)
+        # A big in-dwell load drop is suppressed (scale-down can wait).
+        assert controller.observe(60.0, 0.15 * capacity) is None
+        assert controller.suppressed == 1
+        victim = controller.plan.on_ids[0]
+        controller.mark_failed(victim)
+        # Still deep inside the dwell window, same load: the failure
+        # alone must force the replan.
+        result = controller.observe(120.0, 0.15 * capacity)
+        assert result is not None
+        assert victim not in result.on_ids
+        assert controller.events[-1].reason == "active plan lost a machine"
+        # Subsequent replans (load rises are urgent) never use the dead
+        # machine while it is failed ...
+        for step, fraction in enumerate([0.5, 0.7, 0.85], start=3):
+            plan = controller.observe(step * 60.0, fraction * capacity)
+            assert plan is not None
+            assert victim not in plan.on_ids
+        # ... and after repair it becomes eligible again: serving the
+        # full capacity needs every machine, including the old victim.
+        controller.mark_repaired(victim)
+        plan = controller.observe(360.0, capacity)
+        assert plan is not None
+        assert victim in plan.on_ids
+
+    def test_idle_failure_during_suppression_also_punches_through(self):
+        # Same interleaving, but the dead machine is not in the active
+        # plan, so the "plan lost a machine" path cannot carry the alert;
+        # the pending-failure flag must.
+        optimizer = JointOptimizer(make_system_model(n=10))
+        controller = RuntimeController(
+            optimizer, hysteresis=0.15, min_dwell=600.0
+        )
+        capacity = sum(optimizer.model.capacities)
+        controller.observe(0.0, 0.4 * capacity)
+        assert controller.observe(60.0, 0.15 * capacity) is None
+        idle = [
+            i for i in range(10) if i not in controller.plan.on_ids
+        ][0]
+        controller.mark_failed(idle)
+        result = controller.observe(120.0, 0.15 * capacity)
+        assert result is not None
+        assert idle not in result.on_ids
+        assert controller.events[-1].reason == "hardware failure"
+
+    def test_infeasible_forced_replan_keeps_failure_pending(self):
+        # If the forced replan itself is infeasible the alert must not be
+        # swallowed: the next observation still tries to replan.
+        optimizer = JointOptimizer(make_system_model(n=4))
+        controller = RuntimeController(optimizer, min_dwell=600.0)
+        capacity = sum(optimizer.model.capacities)
+        controller.observe(0.0, 0.9 * capacity)
+        controller.mark_failed(0)
+        controller.mark_failed(1)
+        with pytest.raises(InfeasibleError):
+            controller.observe(60.0, 0.9 * capacity)
+        # The load halves; the pending failure still forces the replan.
+        result = controller.observe(120.0, 0.4 * capacity)
+        assert result is not None
+        assert not set(result.on_ids) & {0, 1}

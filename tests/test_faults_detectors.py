@@ -1,0 +1,124 @@
+"""Tests for sensor plausibility detectors (repro.faults.detectors)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import SensorQuarantine
+
+
+def make(n=3, **kwargs):
+    return SensorQuarantine(n, **kwargs)
+
+
+class TestValidation:
+    def test_needs_sensors(self):
+        with pytest.raises(ConfigurationError):
+            make(0)
+
+    def test_stuck_window_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            make(stuck_window=1)
+
+    def test_tolerance_and_rate(self):
+        with pytest.raises(ConfigurationError):
+            make(stuck_tolerance=-1.0)
+        with pytest.raises(ConfigurationError):
+            make(max_rate=0.0)
+
+    def test_windows_at_least_one(self):
+        with pytest.raises(ConfigurationError):
+            make(dropout_window=0)
+        with pytest.raises(ConfigurationError):
+            make(recovery_hold=0)
+
+    def test_shape_mismatch_rejected(self):
+        q = make(3)
+        with pytest.raises(ConfigurationError):
+            q.update(0.0, [300.0, 301.0])
+
+
+class TestDropout:
+    def test_quarantined_after_window(self):
+        q = make(2, dropout_window=2)
+        assert q.update(0.0, [math.nan, 300.0]) == []
+        decisions = q.update(1.0, [math.nan, 300.1])
+        assert [d.sensor for d in decisions] == [0]
+        assert decisions[0].reason == "dropout"
+        assert q.quarantined == frozenset({0})
+        np.testing.assert_array_equal(
+            q.plausible_mask(), np.array([False, True])
+        )
+
+    def test_single_nan_tolerated(self):
+        q = make(1, dropout_window=2)
+        q.update(0.0, [math.nan])
+        q.update(1.0, [300.0])
+        q.update(2.0, [math.nan])
+        assert q.quarantined == frozenset()
+
+
+class TestStuck:
+    def test_frozen_stream_quarantined(self):
+        q = make(1, stuck_window=3, stuck_tolerance=1e-6)
+        q.update(0.0, [300.0])
+        q.update(1.0, [300.0])
+        decisions = q.update(2.0, [300.0])
+        assert decisions and decisions[0].reason == "stuck"
+
+    def test_jittering_stream_trusted(self):
+        q = make(1, stuck_window=3, stuck_tolerance=1e-6)
+        for t in range(6):
+            q.update(float(t), [300.0 + 0.01 * t])
+        assert q.quarantined == frozenset()
+
+
+class TestRate:
+    def test_implausible_jump_quarantined(self):
+        q = make(1, max_rate=2.0)
+        q.update(0.0, [300.0])
+        decisions = q.update(1.0, [310.0])  # 10 K/s
+        assert decisions and decisions[0].reason == "rate"
+
+    def test_plausible_drift_trusted(self):
+        q = make(1, max_rate=2.0)
+        q.update(0.0, [300.0])
+        q.update(1.0, [301.5])
+        assert q.quarantined == frozenset()
+
+    def test_zero_dt_never_trips_rate(self):
+        q = make(1, max_rate=2.0)
+        q.update(0.0, [300.0])
+        q.update(0.0, [330.0])
+        assert q.quarantined == frozenset()
+
+
+class TestRecovery:
+    def test_restore_after_hold(self):
+        q = make(1, dropout_window=1, recovery_hold=3, stuck_window=2)
+        q.update(0.0, [math.nan])
+        assert q.quarantined == frozenset({0})
+        q.update(1.0, [300.0])
+        q.update(2.0, [300.5])
+        decisions = q.update(3.0, [301.0])
+        assert decisions and decisions[0].action == "restore"
+        assert decisions[0].reason == "recovered"
+        assert q.quarantined == frozenset()
+
+    def test_implausible_reading_resets_hold(self):
+        q = make(1, dropout_window=1, recovery_hold=2, stuck_window=2)
+        q.update(0.0, [math.nan])
+        q.update(1.0, [300.0])
+        q.update(2.0, [math.nan])  # streak broken
+        q.update(3.0, [300.5])
+        assert q.quarantined == frozenset({0})  # only one plausible so far
+        q.update(4.0, [301.0])
+        assert q.quarantined == frozenset()
+
+    def test_decisions_are_logged_in_order(self):
+        q = make(1, dropout_window=1, recovery_hold=1, stuck_window=2)
+        q.update(0.0, [math.nan])
+        q.update(1.0, [300.0])
+        assert [d.action for d in q.decisions] == ["quarantine", "restore"]

@@ -1,0 +1,227 @@
+"""Tests for the degraded-mode controller (repro.faults.resilience)."""
+
+import math
+
+import pytest
+
+from repro.core.optimizer import JointOptimizer
+from repro.errors import ConfigurationError
+from repro.faults import ResilientController, SensorQuarantine
+from tests.conftest import make_system_model
+
+
+def build(n=6, *, thermal_guard=0.0, **kwargs):
+    model = make_system_model(n=n)
+    kwargs.setdefault(
+        "quarantine",
+        SensorQuarantine(n, stuck_window=5, dropout_window=2,
+                         recovery_hold=2),
+    )
+    return ResilientController(
+        JointOptimizer(model), min_dwell=600.0,
+        thermal_guard=thermal_guard, **kwargs
+    )
+
+
+def jittered(base, step, n=6):
+    """Plausible readings: small per-step jitter defeats stuck detection."""
+    return [base + 0.01 * step + 0.001 * i for i in range(n)]
+
+
+class TestValidation:
+    def test_recovery_margin_must_exceed_safe_margin(self):
+        with pytest.raises(ConfigurationError):
+            build(safe_margin=2.0, recovery_margin=2.0)
+
+    def test_safe_margin_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            build(safe_margin=-1.0)
+
+    def test_recovery_hold_positive(self):
+        with pytest.raises(ConfigurationError):
+            build(recovery_hold=0)
+
+    def test_shed_parameters(self):
+        with pytest.raises(ConfigurationError):
+            build(initial_shed=0.0)
+        with pytest.raises(ConfigurationError):
+            build(shed_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            build(max_shed_retries=0)
+        with pytest.raises(ConfigurationError):
+            build(backoff_initial=0.0)
+
+    def test_thermal_guard_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            build(thermal_guard=-0.5)
+
+
+class TestThermalGuard:
+    def test_guard_derates_planning_model_only(self):
+        controller = build(thermal_guard=1.5)
+        assert controller.true_t_max == pytest.approx(343.15)
+        assert controller.optimizer.model.t_max == pytest.approx(341.65)
+
+    def test_zero_guard_keeps_model(self):
+        controller = build(thermal_guard=0.0)
+        assert controller.optimizer.model.t_max == pytest.approx(343.15)
+        assert controller.true_t_max == pytest.approx(343.15)
+
+
+class TestSafeMode:
+    def test_hot_reading_enters_safe_mode_with_cold_air(self):
+        controller = build(safe_margin=1.0, recovery_margin=3.0)
+        controller.observe(0.0, 120.0)
+        t_max = controller.true_t_max
+        plan = controller.observe_readings(60.0, jittered(t_max - 0.5, 1))
+        assert controller.safe_mode
+        assert controller.safe_mode_entries == 1
+        assert plan is not None
+        # Safe plan commands the coldest achievable supply air.
+        assert plan.t_ac == pytest.approx(
+            controller.optimizer.model.cooler.t_ac_min
+        )
+        # ... and sheds to a fraction of what was offered.
+        assert sum(plan.loads) < 120.0
+
+    def test_cool_reading_stays_optimal(self):
+        controller = build()
+        controller.observe(0.0, 120.0)
+        result = controller.observe_readings(60.0, jittered(300.0, 1))
+        assert result is None
+        assert not controller.safe_mode
+
+    def test_blind_controller_enters_safe_mode(self):
+        controller = build()
+        controller.observe(0.0, 120.0)
+        nan = [math.nan] * 6
+        # No finite plausible reading at all => blind immediately (the
+        # quarantine's dropout window only governs per-sensor trust).
+        controller.observe_readings(60.0, nan)
+        assert controller.safe_mode
+        controller.observe_readings(120.0, nan)
+        assert controller.quarantine.quarantined == frozenset(range(6))
+
+    def test_escalation_sheds_further(self):
+        controller = build(safe_margin=1.0, recovery_margin=3.0)
+        controller.observe(0.0, 120.0)
+        t_max = controller.true_t_max
+        first = controller.observe_readings(60.0, jittered(t_max - 0.5, 1))
+        fraction_before = controller._safe_fraction
+        second = controller.observe_readings(120.0, jittered(t_max - 0.4, 2))
+        assert controller._safe_fraction < fraction_before
+        assert sum(second.loads) < sum(first.loads)
+
+    def test_hysteretic_exit_needs_hold(self):
+        controller = build(
+            safe_margin=1.0, recovery_margin=3.0, recovery_hold=2
+        )
+        controller.observe(0.0, 120.0)
+        t_max = controller.true_t_max
+        controller.observe_readings(60.0, jittered(t_max - 0.5, 1))
+        assert controller.safe_mode
+        # One calm reading is not enough ...
+        controller.observe_readings(120.0, jittered(t_max - 5.0, 2))
+        assert controller.safe_mode
+        # ... an intermediate reading (between margins) resets the streak.
+        controller.observe_readings(180.0, jittered(t_max - 2.0, 3))
+        controller.observe_readings(240.0, jittered(t_max - 5.0, 4))
+        assert controller.safe_mode
+        # Two consecutive calm readings exit and rebuild an optimal plan.
+        plan = controller.observe_readings(300.0, jittered(t_max - 5.0, 5))
+        assert not controller.safe_mode
+        assert plan is not None
+        assert plan.t_ac > controller.optimizer.model.cooler.t_ac_min
+
+    def test_observe_holds_position_in_safe_mode(self):
+        controller = build()
+        controller.observe(0.0, 120.0)
+        t_max = controller.true_t_max
+        controller.observe_readings(60.0, jittered(t_max - 0.5, 1))
+        plan_before = controller.plan
+        assert controller.observe(120.0, 200.0) is None  # no load tracking
+        assert controller.plan is plan_before
+
+
+class TestShedAndBackoff:
+    def test_infeasible_target_sheds_geometrically(self):
+        controller = build(shed_factor=0.5, max_shed_retries=5)
+        capacity = controller.surviving_capacity()
+        # Ask for more than the cluster can serve; the solver refuses and
+        # the controller retries at geometrically smaller targets.
+        result = controller._replan(
+            0.0, capacity * 1.5, capacity * 1.5, "test"
+        )
+        assert result is not None
+        assert sum(result.loads) <= capacity + 1e-6
+        assert controller.shed_replans == 1
+
+    def test_hopeless_replan_backs_off_and_goes_safe(self):
+        controller = build(backoff_initial=60.0)
+        for machine in range(6):
+            controller.mark_failed(machine)
+        result = controller._replan(0.0, 50.0, 50.0, "test")
+        assert result is None
+        assert controller._backoff_until == pytest.approx(60.0)
+        assert controller.safe_mode  # nothing serveable -> emergency
+        assert controller.plan is None
+
+    def test_backoff_gate_skips_solver(self):
+        controller = build(backoff_initial=60.0)
+        for machine in range(6):
+            controller.mark_failed(machine)
+        controller._replan(0.0, 50.0, 50.0, "test")
+        solves = []
+        original = controller._solve_plan
+
+        def counting(*args, **kwargs):
+            solves.append(args)
+            return original(*args, **kwargs)
+
+        controller._solve_plan = counting
+        assert controller._replan(30.0, 50.0, 50.0, "test") is None
+        assert solves == []  # inside the backoff window: no solver call
+
+    def test_backoff_doubles_and_caps_at_dwell(self):
+        controller = build(backoff_initial=60.0)  # min_dwell=600
+        for machine in range(6):
+            controller.mark_failed(machine)
+        delays = []
+        t = 0.0
+        for _ in range(6):
+            t = max(t, controller._backoff_until) + 1.0
+            controller._replan(t, 50.0, 50.0, "test")
+            delays.append(controller._backoff_until - t)
+        assert delays[:4] == [
+            pytest.approx(60.0), pytest.approx(120.0),
+            pytest.approx(240.0), pytest.approx(480.0),
+        ]
+        assert delays[4] == pytest.approx(600.0)  # capped at min_dwell
+        assert delays[5] == pytest.approx(600.0)
+
+    def test_successful_plan_clears_backoff(self):
+        controller = build(backoff_initial=60.0)
+        for machine in range(6):
+            controller.mark_failed(machine)
+        controller._replan(0.0, 50.0, 50.0, "test")
+        assert controller._backoff_until == pytest.approx(60.0)
+        for machine in range(6):
+            controller.mark_repaired(machine)
+        controller.safe_mode = False  # hardware is back; leave emergency
+        result = controller._replan(30.0, 50.0, 57.5, "recovered")
+        assert result is None  # still inside the old backoff window
+        result = controller._replan(61.0, 50.0, 57.5, "recovered")
+        assert result is not None
+        assert controller._backoff_until == -math.inf
+
+    def test_offered_load_beyond_capacity_sheds(self):
+        controller = build()
+        controller.observe(0.0, 120.0)
+        controller.mark_failed(0)
+        controller.mark_failed(1)
+        controller.mark_failed(2)
+        capacity = controller.surviving_capacity()
+        result = controller.observe(700.0, capacity * 1.2)
+        assert result is not None
+        assert sum(result.loads) <= capacity + 1e-6
+        assert not set(result.on_ids) & {0, 1, 2}

@@ -1,0 +1,257 @@
+"""Tests for the declarative fault-scenario layer (repro.faults)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultScenario,
+    FaultSpec,
+    compose,
+    events_to_jsonl,
+)
+
+
+def crash(at=100.0, until=200.0, machine=0):
+    return FaultSpec(kind="machine_crash", at=at, until=until, machine=machine)
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="meteor_strike", at=0.0)
+
+    def test_negative_onset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            crash(at=-1.0)
+
+    def test_window_must_end_after_start(self):
+        with pytest.raises(ConfigurationError):
+            crash(at=100.0, until=100.0)
+
+    def test_machine_kinds_need_target(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="machine_crash", at=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="sensor_dropout", at=0.0, machine=-1)
+
+    def test_room_kinds_reject_target(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="ac_derate", at=0.0, magnitude=0.5, machine=2)
+
+    def test_magnitude_kinds_need_magnitude(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="load_surge", at=0.0)
+
+    def test_ac_derate_magnitude_range(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="ac_derate", at=0.0, magnitude=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="ac_derate", at=0.0, magnitude=1.5)
+        FaultSpec(kind="ac_derate", at=0.0, magnitude=1.0)  # boundary ok
+
+    def test_load_surge_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="load_surge", at=0.0, magnitude=0.0)
+
+    def test_sensor_noise_magnitude_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(
+                kind="sensor_noise", at=0.0, machine=0, magnitude=-0.1
+            )
+
+    def test_value_only_for_sensor_stuck(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(
+                kind="sensor_bias", at=0.0, machine=0,
+                magnitude=1.0, value=300.0,
+            )
+        FaultSpec(kind="sensor_stuck", at=0.0, machine=0, value=300.0)
+
+    def test_every_kind_constructible(self):
+        for kind in FAULT_KINDS:
+            machine = 0 if kind.startswith(("machine", "sensor")) else None
+            magnitude = (
+                0.5
+                if kind in {"sensor_bias", "sensor_noise", "ac_derate",
+                            "ac_setpoint_drift", "load_surge"}
+                else None
+            )
+            spec = FaultSpec(
+                kind=kind, at=1.0, machine=machine, magnitude=magnitude
+            )
+            assert spec.kind == kind
+
+
+class TestSpecSerialization:
+    def test_round_trip(self):
+        spec = FaultSpec(
+            kind="sensor_bias", at=10.0, until=50.0, machine=3,
+            magnitude=-2.5,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_omits_unset_optionals(self):
+        doc = FaultSpec(kind="load_surge", at=5.0, magnitude=1.2).to_dict()
+        assert set(doc) == {"kind", "at", "magnitude"}
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.from_dict({"kind": "load_surge", "at": 0.0, "oops": 1})
+
+    def test_missing_required_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.from_dict({"kind": "load_surge"})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.from_dict(["machine_crash"])
+
+
+class TestScenario:
+    def test_needs_name(self):
+        with pytest.raises(ConfigurationError):
+            FaultScenario(name="", seed=1, faults=())
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultScenario(name="s", seed=1, faults=(), duration=0.0)
+
+    def test_faults_coerced_to_tuple(self):
+        scenario = FaultScenario(name="s", seed=1, faults=[crash()])
+        assert isinstance(scenario.faults, tuple)
+
+    def test_json_round_trip(self):
+        scenario = FaultScenario(
+            name="demo", seed=7, duration=900.0,
+            faults=(crash(), FaultSpec(kind="ac_derate", at=50.0,
+                                       magnitude=0.3)),
+        )
+        assert FaultScenario.from_json(scenario.to_json()) == scenario
+
+    def test_json_is_canonical(self):
+        scenario = FaultScenario(name="demo", seed=7, faults=(crash(),))
+        text = scenario.to_json()
+        assert text == FaultScenario.from_json(text).to_json()
+        assert json.loads(text)["name"] == "demo"
+
+    def test_from_json_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            FaultScenario.from_json(
+                '{"name": "x", "seed": 1, "faults": [], "extra": true}'
+            )
+
+    def test_from_json_rejects_bad_document(self):
+        with pytest.raises(ConfigurationError):
+            FaultScenario.from_json("not json")
+        with pytest.raises(ConfigurationError):
+            FaultScenario.from_json("[1, 2]")
+        with pytest.raises(ConfigurationError):
+            FaultScenario.from_json('{"name": "x", "seed": 1, "faults": 3}')
+
+    def test_with_seed_keeps_schedule(self):
+        scenario = FaultScenario(name="s", seed=1, faults=(crash(),))
+        reseeded = scenario.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.faults == scenario.faults
+        assert reseeded.name == scenario.name
+
+
+class TestTransitions:
+    def test_sorted_with_end_before_begin_on_tie(self):
+        scenario = FaultScenario(
+            name="tie", seed=1,
+            faults=(
+                crash(at=0.0, until=100.0, machine=0),
+                crash(at=100.0, until=200.0, machine=1),
+            ),
+        )
+        assert scenario.transitions() == [
+            (0.0, "begin", 0),
+            (100.0, "end", 0),
+            (100.0, "begin", 1),
+            (200.0, "end", 1),
+        ]
+
+    def test_open_window_has_no_end(self):
+        scenario = FaultScenario(
+            name="open", seed=1,
+            faults=(FaultSpec(kind="machine_crash", at=5.0, machine=0),),
+        )
+        assert scenario.transitions() == [(5.0, "begin", 0)]
+
+    def test_index_breaks_exact_ties(self):
+        scenario = FaultScenario(
+            name="dup", seed=1,
+            faults=(
+                FaultSpec(kind="load_surge", at=10.0, magnitude=1.1),
+                FaultSpec(kind="load_surge", at=10.0, magnitude=1.2),
+            ),
+        )
+        assert scenario.transitions() == [
+            (10.0, "begin", 0), (10.0, "begin", 1)
+        ]
+
+
+class TestDeterminism:
+    def test_rng_streams_replay_exactly(self):
+        a = FaultScenario(
+            name="s", seed=42,
+            faults=(
+                FaultSpec(kind="sensor_noise", at=0.0, machine=0,
+                          magnitude=1.0),
+                FaultSpec(kind="sensor_noise", at=0.0, machine=1,
+                          magnitude=1.0),
+            ),
+        )
+        b = FaultScenario(name="t", seed=42, faults=a.faults)
+        np.testing.assert_array_equal(
+            a.rng_for(0).normal(size=8), b.rng_for(0).normal(size=8)
+        )
+        # Streams are per-fault: index 1 differs from index 0.
+        assert not np.array_equal(
+            a.rng_for(0).normal(size=8), a.rng_for(1).normal(size=8)
+        )
+
+    def test_rng_for_bad_index(self):
+        scenario = FaultScenario(name="s", seed=1, faults=(crash(),))
+        with pytest.raises(ConfigurationError):
+            scenario.rng_for(1)
+
+    def test_events_to_jsonl_is_byte_stable(self):
+        events = [
+            FaultEvent(time=1.0, kind="machine_crash", phase="begin",
+                       fault_index=0, machine=2),
+            FaultEvent(time=2.0, kind="ac_derate", phase="begin",
+                       fault_index=1, detail={"magnitude": 0.5}),
+        ]
+        text = events_to_jsonl(events)
+        assert text == events_to_jsonl(list(events))
+        lines = text.strip().split("\n")
+        assert len(lines) == 2
+        assert json.loads(lines[0])["machine"] == 2
+        assert json.loads(lines[1])["detail"] == {"magnitude": 0.5}
+
+
+class TestCompose:
+    def test_concatenates_in_order(self):
+        a = FaultScenario(name="a", seed=1, faults=(crash(machine=0),),
+                          duration=100.0)
+        b = FaultScenario(name="b", seed=2, faults=(crash(machine=1),),
+                          duration=300.0)
+        merged = compose("ab", 9, [a, b])
+        assert merged.seed == 9
+        assert [f.machine for f in merged.faults] == [0, 1]
+        assert merged.duration == 300.0
+
+    def test_needs_at_least_one(self):
+        with pytest.raises(ConfigurationError):
+            compose("empty", 1, [])
+
+    def test_no_durations_means_none(self):
+        a = FaultScenario(name="a", seed=1, faults=(crash(),))
+        assert compose("ab", 2, [a]).duration is None
