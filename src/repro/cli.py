@@ -179,11 +179,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="watchdog violation policy for the traced scenario "
         "(trace/dashboard targets only)",
     )
+    parser.add_argument(
+        "--sim-engine",
+        choices=("numpy", "python"),
+        default="numpy",
+        help="transient-simulation engine: the vectorized numpy pipeline "
+        "(default) or the per-node python reference loop; both produce "
+        "bit-identical trajectories (see docs/observability.md)",
+    )
     return parser
 
 
 def _run_traced_scenario(
-    seed: int, machines: int, load: Optional[float], policy: str
+    seed: int,
+    machines: int,
+    load: Optional[float],
+    policy: str,
+    sim_engine: str = "numpy",
 ):
     """One fully observed controller run: metrics + tracing + watchdogs.
 
@@ -197,7 +209,9 @@ def _run_traced_scenario(
     from repro.core.controller import RuntimeController
     from repro.workload.traces import diurnal_trace
 
-    ctx = default_context(seed=seed, n_machines=machines)
+    ctx = default_context(
+        seed=seed, n_machines=machines, sim_engine=sim_engine
+    )
     capacity = sum(ctx.model.capacities)
     peak = load if load is not None else 0.7 * capacity
     trace = diurnal_trace(base=0.3 * peak, peak=peak, duration=86400.0)
@@ -266,6 +280,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             n_machines=args.machines,
             quick=args.quick,
             scenarios=scenarios,
+            sim_engine=args.sim_engine,
         )
         for entry in document["scenarios"]:
             print(f"{entry['name']} (load {entry['load_fraction']:.0%}):")
@@ -307,7 +322,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
             model = load_system_model(args.model)
         else:
-            ctx = default_context(seed=args.seed, n_machines=args.machines)
+            ctx = default_context(
+                seed=args.seed,
+                n_machines=args.machines,
+                sim_engine=args.sim_engine,
+            )
             model = ctx.model
         optimizer = JointOptimizer(model, index_cache_dir=args.cache_dir)
         start = time.perf_counter()
@@ -330,7 +349,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         import pathlib
 
         buffer, wd = _run_traced_scenario(
-            args.seed, args.machines, args.load, args.policy
+            args.seed, args.machines, args.load, args.policy,
+            sim_engine=args.sim_engine,
         )
         out = pathlib.Path(args.out or "trace.jsonl")
         out.write_text(buffer.to_jsonl())
@@ -359,7 +379,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(render_dashboard(buffer))
         else:
             buffer, wd = _run_traced_scenario(
-                args.seed, args.machines, args.load, args.policy
+                args.seed, args.machines, args.load, args.policy,
+                sim_engine=args.sim_engine,
             )
             print(render_dashboard(buffer, watchdog=wd))
         return 0
@@ -373,7 +394,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # One instrumented end-to-end run: profile the testbed, then
             # solve (at --load, or at 50% of capacity).  The registry dump
             # covers the campaign, the index build, and the solve.
-            ctx = default_context(seed=args.seed, n_machines=args.machines)
+            ctx = default_context(
+                seed=args.seed,
+                n_machines=args.machines,
+                sim_engine=args.sim_engine,
+            )
             load = (
                 args.load
                 if args.load is not None
@@ -389,7 +414,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.target == "report":
         from repro.analysis.report import write_report
 
-        ctx = default_context(seed=args.seed, n_machines=args.machines)
+        ctx = default_context(
+            seed=args.seed, n_machines=args.machines,
+            sim_engine=args.sim_engine,
+        )
         target = args.save or "reproduction_report.md"
         path = write_report(target, ctx)
         print(f"reproduction report written to {path}")
@@ -398,7 +426,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.target == "profile":
         from repro.core.serialization import save_system_model
 
-        ctx = default_context(seed=args.seed, n_machines=args.machines)
+        ctx = default_context(
+            seed=args.seed, n_machines=args.machines,
+            sim_engine=args.sim_engine,
+        )
         print(
             f"profiled {args.machines} machines: "
             f"P = {ctx.model.power.w1:.3f}*L + {ctx.model.power.w2:.2f}, "
@@ -422,7 +453,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
             optimizer = JointOptimizer(load_system_model(args.model))
         else:
-            ctx = default_context(seed=args.seed, n_machines=args.machines)
+            ctx = default_context(
+                seed=args.seed, n_machines=args.machines,
+                sim_engine=args.sim_engine,
+            )
             optimizer = ctx.optimizer
         if args.budget is not None:
             max_load, result = optimizer.max_load_under_budget(args.budget)
@@ -460,7 +494,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             if ctx is None:
                 ctx = default_context(
-                    seed=args.seed, n_machines=args.machines
+                    seed=args.seed, n_machines=args.machines,
+                    sim_engine=args.sim_engine,
                 )
             result = contextual[name](ctx)
         if args.plot and hasattr(result, "series"):

@@ -46,12 +46,13 @@ def default_context(
     seed: int = 2012,
     n_machines: int = 20,
     config: Optional[TestbedConfig] = None,
+    sim_engine: str = "numpy",
 ) -> EvaluationContext:
     """Build (or fetch from cache) the standard evaluation context."""
-    key = (seed, n_machines, config)
+    key = (seed, n_machines, config, sim_engine)
     if key not in _CONTEXT_CACHE:
         cfg = config or TestbedConfig(n_machines=n_machines)
-        testbed = build_testbed(cfg, seed=seed)
+        testbed = build_testbed(cfg, seed=seed, sim_engine=sim_engine)
         profiling = testbed.profile()
         optimizer = JointOptimizer(profiling.system_model)
         _CONTEXT_CACHE[key] = EvaluationContext(
@@ -66,18 +67,21 @@ def sweep_scenario(
     load_fractions: Sequence[float] = DEFAULT_LOAD_FRACTIONS,
 ) -> list[ExperimentRecord]:
     """Evaluate one scenario across the load axis (ground-truth power)."""
-    records = []
     capacity = context.testbed.total_capacity
+    decisions = []
     for fraction in load_fractions:
         if not 0.0 < fraction <= 1.0:
             raise ConfigurationError(
                 f"load fraction must be in (0, 1], got {fraction}"
             )
-        decision = scenario.decide(
-            context.model, fraction * capacity, optimizer=context.optimizer
+        decisions.append(
+            scenario.decide(
+                context.model, fraction * capacity, optimizer=context.optimizer
+            )
         )
-        records.append(context.testbed.evaluate(decision))
-    return records
+    # One vectorized steady-state solve for the whole load axis
+    # (bit-identical to per-decision evaluate calls).
+    return context.testbed.evaluate_many(decisions)
 
 
 def scenario_sweeps(

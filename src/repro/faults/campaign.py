@@ -375,6 +375,7 @@ def run_closed_loop(
     attach_injector: bool = False,
     feed_readings: bool = False,
     controller_name: str = "controller",
+    sim_engine: str = "numpy",
 ) -> ClosedLoopResult:
     """Drive one controller through one fault scenario, ground truth on.
 
@@ -402,7 +403,7 @@ def run_closed_loop(
     t_max = testbed.config.t_max
     inj = injector if injector is not None else FaultInjector(scenario)
     cooler = replace(testbed.cooler, _integral=0.0, _q_cool=0.0)
-    sim = RoomSimulation(testbed.room, cooler)
+    sim = RoomSimulation(testbed.room, cooler, engine=sim_engine)
     inj.attach_simulation(sim)
     if attach_injector:
         controller.attach_fault_injector(inj)
@@ -576,6 +577,7 @@ def run_campaign(
     sim_dt: float = 2.0,
     grace_steps: int = 1,
     context=None,
+    sim_engine: str = "numpy",
 ) -> tuple[list[CampaignResult], dict]:
     """Sweep scenarios over the naive/resilient/oracle controllers.
 
@@ -588,7 +590,9 @@ def run_campaign(
     if context is None:
         from repro.experiments.common import default_context
 
-        context = default_context(seed=seed, n_machines=n_machines)
+        context = default_context(
+            seed=seed, n_machines=n_machines, sim_engine=sim_engine
+        )
     refs = (
         list(scenarios)
         if scenarios is not None
@@ -616,6 +620,7 @@ def run_campaign(
                 attach_injector=attach,
                 feed_readings=readings,
                 controller_name=name,
+                sim_engine=sim_engine,
             )
         results.append(CampaignResult(reference=ref, runs=runs))
     document = _campaign_document(

@@ -31,6 +31,7 @@ from repro.obs.export import (
     validate_bench_observability,
     validate_consolidation_scale,
     validate_resilience,
+    validate_simulation_speed,
     write_bench_observability,
     write_resilience,
 )
@@ -72,6 +73,7 @@ from repro.obs.trace import (
     get_trace_buffer,
     reset_trace,
     set_span_attributes,
+    suspended_tracing,
     tracing_enabled,
 )
 from repro.obs.watchdog import (
@@ -117,6 +119,7 @@ __all__ = [
     "validate_bench_observability",
     "validate_consolidation_scale",
     "validate_resilience",
+    "validate_simulation_speed",
     "write_resilience",
     # tracing
     "trace",
@@ -126,6 +129,7 @@ __all__ = [
     "TraceEvent",
     "enable_tracing",
     "disable_tracing",
+    "suspended_tracing",
     "tracing_enabled",
     "get_trace_buffer",
     "reset_trace",

@@ -436,3 +436,91 @@ def write_resilience(
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return target
+
+
+#: Keys every simulation-speed entry must carry.
+_SIM_SPEED_ENTRY_KEYS = (
+    "n", "steps_numpy", "steps_python", "seconds_numpy", "seconds_python",
+    "steps_per_second_numpy", "steps_per_second_python", "speedup",
+    "identical_trajectory",
+)
+
+
+def validate_simulation_speed(document: Mapping) -> None:
+    """Raise :class:`ConfigurationError` unless ``document`` is a valid
+    simulation-speed record.
+
+    Shape (written by ``benchmarks/bench_simulation_speed.py`` to
+    ``benchmarks/results/simulation_speed.json``)::
+
+        {
+          "schema": 1,
+          "kind": "simulation-speed",
+          "seed": <int>,
+          "dt": <integrator step, s>,
+          "entries": [
+            {
+              "n": <machines>,
+              "steps_numpy": <timed steps, vectorized engine>,
+              "steps_python": <timed steps, loop engine>,
+              "seconds_numpy": <best-of-rounds wall clock, s>,
+              "seconds_python": <best-of-rounds wall clock, s>,
+              "steps_per_second_numpy": <throughput>,
+              "steps_per_second_python": <throughput>,
+              "speedup": <numpy throughput / python throughput>,
+              "identical_trajectory": true
+            }, ...
+          ]
+        }
+
+    ``identical_trajectory`` records that, before timing, both engines
+    were stepped through the same seeded scenario and finished in
+    exactly equal states (the bench asserts it; the schema requires the
+    stamp to be present and true).
+    """
+    if not isinstance(document, Mapping):
+        raise ConfigurationError(
+            "simulation-speed document must be a mapping"
+        )
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported simulation-speed schema "
+            f"{document.get('schema')!r} (expected {SCHEMA_VERSION})"
+        )
+    if document.get("kind") != "simulation-speed":
+        raise ConfigurationError(
+            f"not a simulation-speed record (kind={document.get('kind')!r})"
+        )
+    if not isinstance(document.get("seed"), int):
+        raise ConfigurationError("'seed' must be an int")
+    dt = document.get("dt")
+    if not isinstance(dt, (int, float)) or dt <= 0.0:
+        raise ConfigurationError("'dt' must be a positive number")
+    entries = document.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ConfigurationError("'entries' must be a non-empty list")
+    for entry in entries:
+        if not isinstance(entry, Mapping):
+            raise ConfigurationError("each entry must be a map")
+        missing = [k for k in _SIM_SPEED_ENTRY_KEYS if k not in entry]
+        if missing:
+            raise ConfigurationError(f"entry missing {missing}")
+        for key in ("n", "steps_numpy", "steps_python"):
+            value = entry[key]
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"entry {key!r} must be a positive int"
+                )
+        for key in ("seconds_numpy", "seconds_python",
+                    "steps_per_second_numpy", "steps_per_second_python",
+                    "speedup"):
+            value = entry[key]
+            if not isinstance(value, (int, float)) or value <= 0.0:
+                raise ConfigurationError(
+                    f"entry {key!r} must be a positive number"
+                )
+        if entry["identical_trajectory"] is not True:
+            raise ConfigurationError(
+                "'identical_trajectory' must be true — engines disagreed "
+                "or the equivalence check did not run"
+            )

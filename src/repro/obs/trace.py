@@ -33,6 +33,7 @@ Two interchange formats are supported, both lossless:
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Mapping, Optional
@@ -448,6 +449,23 @@ def disable_tracing() -> None:
     global _tracing
     _tracing = False
     _open.clear()
+
+
+@contextmanager
+def suspended_tracing():
+    """Temporarily stop recording spans and events.
+
+    Unlike :func:`disable_tracing` this leaves open spans intact, so it
+    is safe inside an enclosing :func:`span` — used by the benchmarks to
+    time hot loops without the per-event recording cost.
+    """
+    global _tracing
+    was = _tracing
+    _tracing = False
+    try:
+        yield
+    finally:
+        _tracing = was
 
 
 def get_trace_buffer() -> TraceBuffer:

@@ -258,36 +258,28 @@ class ProfilingCampaign:
     # Thermal + cooler profiling (Fig. 3)
     # ------------------------------------------------------------------ #
 
-    def _observe_point(
-        self, set_point: float, fractions: Sequence[float]
-    ) -> tuple[np.ndarray, np.ndarray, float, float, float]:
-        """Drive the room to one operating point; return sensor data.
-
-        ``fractions`` gives each machine's utilization.  Returns
-        ``(t_cpu_meas, p_meas, t_ac_meas, p_ac_meas, sum_p_meas)`` with
-        per-sample averaging already applied.
-        """
-        n = self.simulation.room.node_count
-        powers = np.array(
+    def _point_powers(self, fractions: Sequence[float]) -> np.ndarray:
+        """Ground-truth per-machine powers for a utilization pattern."""
+        return np.array(
             [
                 pm.power(f * pm.capacity)
                 for pm, f in zip(self.power_models, fractions)
             ]
         )
-        if self.config.transient:
-            self.simulation.set_node_powers(powers, on_mask=[True] * n)
-            self.simulation.set_set_point(set_point)
-            self.simulation.run(self.config.settle_time)
-            t_cpu = self.simulation.t_cpu.copy()
-            t_ac = self.simulation.t_ac
-            p_ac = self.simulation.cooling_power
-        else:
-            state = self.simulation.steady_state(
-                powers=powers, on_mask=[True] * n, set_point=set_point
-            )
-            t_cpu = state.t_cpu
-            t_ac = state.t_ac
-            p_ac = state.p_ac
+
+    def _measure_point(
+        self,
+        powers: np.ndarray,
+        t_cpu: np.ndarray,
+        t_ac: float,
+        p_ac: float,
+    ) -> tuple[np.ndarray, np.ndarray, float, float, float]:
+        """Sample the sensors at a solved operating point.
+
+        The sampling order defines the sensor RNG streams, so batched and
+        per-point solving produce identical measurements as long as the
+        points are measured in the same order.
+        """
         obs.count("profiling.operating_points")
         reps = self.config.samples_per_point
         t_cpu_meas = np.mean(
@@ -303,6 +295,33 @@ class ProfilingCampaign:
             np.mean([self.power_meter.read(p_ac) for _ in range(reps)])
         )
         return t_cpu_meas, p_meas, t_ac_meas, p_ac_meas, float(p_meas.sum())
+
+    def _observe_point(
+        self, set_point: float, fractions: Sequence[float]
+    ) -> tuple[np.ndarray, np.ndarray, float, float, float]:
+        """Drive the room to one operating point; return sensor data.
+
+        ``fractions`` gives each machine's utilization.  Returns
+        ``(t_cpu_meas, p_meas, t_ac_meas, p_ac_meas, sum_p_meas)`` with
+        per-sample averaging already applied.
+        """
+        n = self.simulation.room.node_count
+        powers = self._point_powers(fractions)
+        if self.config.transient:
+            self.simulation.set_node_powers(powers, on_mask=[True] * n)
+            self.simulation.set_set_point(set_point)
+            self.simulation.run(self.config.settle_time)
+            t_cpu = self.simulation.t_cpu.copy()
+            t_ac = self.simulation.t_ac
+            p_ac = self.simulation.cooling_power
+        else:
+            state = self.simulation.steady_state(
+                powers=powers, on_mask=[True] * n, set_point=set_point
+            )
+            t_cpu = state.t_cpu
+            t_ac = state.t_ac
+            p_ac = state.p_ac
+        return self._measure_point(powers, t_cpu, t_ac, p_ac)
 
     def profile_thermal(
         self,
@@ -331,18 +350,49 @@ class ProfilingCampaign:
             high, low = 0.85, 0.25
             pattern = np.where(np.arange(n) % 2 == s % 2, high, low)
             patterns.append(pattern)
-        for sp in cfg.set_points:
-            for pattern in patterns:
+        points = [
+            (sp, pattern) for sp in cfg.set_points for pattern in patterns
+        ]
+        solver = getattr(self.simulation, "steady_state_many", None)
+        solved = None
+        if not cfg.transient and solver is not None:
+            # One vectorized solve for the whole sweep; measurements
+            # still run point by point in the original order, so the
+            # sensor RNG streams (and the fitted model) are bit-identical
+            # to the per-point path.
+            powers_matrix = np.stack(
+                [self._point_powers(pattern) for _, pattern in points]
+            )
+            batch = solver(
+                powers_matrix,
+                np.ones(powers_matrix.shape, dtype=bool),
+                np.array([sp for sp, _ in points]),
+            )
+            solved = [
+                (
+                    powers_matrix[idx],
+                    batch.t_cpu[idx],
+                    float(batch.t_ac[idx]),
+                    float(batch.p_ac[idx]),
+                )
+                for idx in range(len(points))
+            ]
+        for idx, (sp, pattern) in enumerate(points):
+            if solved is not None:
+                t_cpu_m, p_m, t_ac_m, p_ac_m, sum_p = self._measure_point(
+                    *solved[idx]
+                )
+            else:
                 t_cpu_m, p_m, t_ac_m, p_ac_m, sum_p = self._observe_point(
                     sp, pattern
                 )
-                t_ac_rows.append(t_ac_m)
-                t_sp_rows.append(sp)
-                p_ac_rows.append(p_ac_m)
-                sum_p_rows.append(sum_p)
-                for i in range(n):
-                    per_node_tcpu[i].append(float(t_cpu_m[i]))
-                    per_node_p[i].append(float(p_m[i]))
+            t_ac_rows.append(t_ac_m)
+            t_sp_rows.append(sp)
+            p_ac_rows.append(p_ac_m)
+            sum_p_rows.append(sum_p)
+            for i in range(n):
+                per_node_tcpu[i].append(float(t_cpu_m[i]))
+                per_node_p[i].append(float(p_m[i]))
 
         t_ac_arr = np.asarray(t_ac_rows)
         nodes: list[NodeCoefficients] = []

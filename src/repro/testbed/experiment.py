@@ -102,6 +102,7 @@ class Testbed:
         power_models: Sequence[ServerPowerModel],
         rng: np.random.Generator,
         simulation=None,
+        sim_engine: str = "numpy",
     ) -> None:
         if len(power_models) != room.node_count:
             raise ConfigurationError(
@@ -113,11 +114,13 @@ class Testbed:
         self.power_models = list(power_models)
         self.rng = rng
         # A custom simulation (e.g. the zonal substrate) may be supplied;
-        # it must honour the RoomSimulation interface.
+        # it must honour the RoomSimulation interface.  ``sim_engine``
+        # selects the transient-integrator implementation of the default
+        # RoomSimulation ("numpy" or "python"; both bit-identical).
         self.simulation = (
             simulation
             if simulation is not None
-            else RoomSimulation(room, cooler)
+            else RoomSimulation(room, cooler, engine=sim_engine)
         )
 
     @property
@@ -170,9 +173,10 @@ class Testbed:
             powers=powers, on_mask=on_mask, set_point=decision.t_sp
         )
 
-    def evaluate(self, decision: PolicyDecision) -> ExperimentRecord:
-        """Run one decision to steady state and record the true outcome."""
-        state = self.steady_state_for(decision)
+    def _record_for(
+        self, decision: PolicyDecision, state: SteadyState
+    ) -> ExperimentRecord:
+        """Fold a solved steady state into an :class:`ExperimentRecord`."""
         on_cpu = state.t_cpu[list(decision.on_ids)]
         max_t = float(np.max(on_cpu)) if len(decision.on_ids) else state.t_room
         return ExperimentRecord(
@@ -190,6 +194,42 @@ class Testbed:
             temperature_violated=bool(max_t > self.config.t_max + 1e-6),
             regulated=state.regulated,
         )
+
+    def evaluate(self, decision: PolicyDecision) -> ExperimentRecord:
+        """Run one decision to steady state and record the true outcome."""
+        return self._record_for(decision, self.steady_state_for(decision))
+
+    def evaluate_many(
+        self, decisions: Sequence[PolicyDecision]
+    ) -> list[ExperimentRecord]:
+        """Evaluate a whole sweep of decisions in one batched solve.
+
+        Uses :meth:`RoomSimulation.steady_state_many` when the underlying
+        simulation offers it (solutions are bit-identical to per-decision
+        :meth:`evaluate` calls); falls back to scalar evaluation for
+        custom substrates, e.g. the zonal simulation.
+        """
+        decisions = list(decisions)
+        if not decisions:
+            return []
+        solver = getattr(self.simulation, "steady_state_many", None)
+        if solver is None:
+            return [self.evaluate(d) for d in decisions]
+        n = self.n_machines
+        powers = np.zeros((len(decisions), n))
+        masks = np.zeros((len(decisions), n), dtype=bool)
+        set_points = np.empty(len(decisions))
+        for r, decision in enumerate(decisions):
+            masks[r, list(decision.on_ids)] = True
+            powers[r] = self.true_server_powers(
+                decision.loads, decision.on_ids
+            )
+            set_points[r] = decision.t_sp
+        batch = solver(powers, masks, set_points)
+        return [
+            self._record_for(decision, batch.point(r))
+            for r, decision in enumerate(decisions)
+        ]
 
     # ------------------------------------------------------------------ #
     # Full-stack workload run
@@ -240,7 +280,12 @@ class Testbed:
             rate=decision.total_load,
             deterministic=deterministic_arrivals,
         )
-        sim = type(self.simulation)(self.room, self.cooler)
+        if isinstance(self.simulation, RoomSimulation):
+            sim = RoomSimulation(
+                self.room, self.cooler, engine=self.simulation.engine
+            )
+        else:
+            sim = type(self.simulation)(self.room, self.cooler)
         sim.set_set_point(decision.t_sp)
         energy = 0.0
         power_samples: list[float] = []

@@ -25,6 +25,7 @@ simulation reports this honestly rather than pretending regulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro import units
 from repro.errors import ConfigurationError
@@ -149,16 +150,28 @@ class CoolingUnit:
         """Supply temperature for the currently commanded capacity."""
         return t_return - self._q_cool / (self.supply_flow * units.C_AIR)
 
-    def steady_state_power(self, heat_load: float) -> float:
+    def steady_state_power(
+        self, heat_load: float, t_return: Optional[float] = None
+    ) -> float:
         """Electrical power at steady state for a given room heat load, W.
 
         At steady state the unit removes exactly ``heat_load`` watts from
         the air, so ``P_ac = heat_load / eta`` — provided the load is within
-        capacity.
+        capacity.  When ``t_return`` is given, capacity means *both*
+        actuator limits: ``q_max`` and the coil limit
+        ``(t_return - t_ac_min) * f_ac * c_air`` (the supply air cannot
+        drop below ``t_ac_min``), matching what the transient PI loop and
+        the saturated-mode steady-state solver enforce.  Without
+        ``t_return`` only ``q_max`` can be applied — the coil limit
+        depends on the return temperature.
         """
         if heat_load < 0.0:
             return self.fan_power
-        return min(heat_load, self.q_max) / self.efficiency + self.fan_power
+        if t_return is None:
+            q = min(heat_load, self.q_max)
+        else:
+            q = min(heat_load, self.max_capacity_for_return(t_return))
+        return q / self.efficiency + self.fan_power
 
     def steady_supply_temperature(
         self, heat_load: float, t_return: float

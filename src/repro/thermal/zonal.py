@@ -402,6 +402,7 @@ class ZonalRoomSimulation:
         self.time += dt
         if not (
             np.all(np.isfinite(self.t_cpu))
+            and np.all(np.isfinite(self.t_box))
             and np.all(np.isfinite(self.t_zone))
         ):
             raise SimulationError(
@@ -409,9 +410,25 @@ class ZonalRoomSimulation:
             )
 
     def run(self, duration: float, dt: float = 0.5) -> None:
-        """Advance the simulation by ``duration`` seconds."""
-        for _ in range(int(round(duration / dt))):
+        """Advance the simulation by exactly ``duration`` seconds.
+
+        Whole steps of ``dt`` plus one remainder sub-step when the
+        duration is not an integer multiple of ``dt`` (same contract as
+        :meth:`RoomSimulation.run`).
+        """
+        if duration < 0.0:
+            raise ConfigurationError(
+                f"duration must be non-negative, got {duration}"
+            )
+        ratio = duration / dt
+        steps = int(ratio)
+        if ratio - steps > 1.0 - 1e-9:
+            steps += 1
+        remainder = duration - steps * dt
+        for _ in range(steps):
             self.step(dt)
+        if remainder > 1e-9 * dt:
+            self.step(remainder)
 
     @property
     def cooling_power(self) -> float:

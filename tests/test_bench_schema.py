@@ -203,6 +203,88 @@ class TestConsolidationScaleSchema:
             obs.validate_consolidation_scale(document)
 
 
+def _sim_speed_entry(**overrides):
+    entry = {
+        "n": 20, "steps_numpy": 4000, "steps_python": 400,
+        "seconds_numpy": 0.16, "seconds_python": 0.18,
+        "steps_per_second_numpy": 25000.0,
+        "steps_per_second_python": 2200.0,
+        "speedup": 11.4, "identical_trajectory": True,
+    }
+    entry.update(overrides)
+    return entry
+
+
+def _sim_speed_document(**entry_overrides):
+    return {
+        "schema": obs.SCHEMA_VERSION,
+        "kind": "simulation-speed",
+        "seed": 2012,
+        "dt": 0.5,
+        "entries": [_sim_speed_entry(**entry_overrides)],
+    }
+
+
+class TestSimulationSpeedSchema:
+    def test_fresh_document_validates(self):
+        obs.validate_simulation_speed(_sim_speed_document())
+
+    def test_existing_speed_artifact_validates(self):
+        path = RESULTS_DIR / "simulation_speed.json"
+        if not path.exists():
+            pytest.skip("no simulation-speed artifact present")
+        obs.validate_simulation_speed(json.loads(path.read_text()))
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            {"schema": 99},
+            {"kind": "consolidation-scale"},
+            {"seed": "2012"},
+            {"dt": 0.0},
+            {"dt": "fast"},
+            {"entries": []},
+            {"entries": ["not a map"]},
+        ],
+        ids=["schema", "kind", "seed", "dt-zero", "dt-type",
+             "empty-entries", "entry-type"],
+    )
+    def test_rejects_malformed_documents(self, mutate):
+        document = _sim_speed_document()
+        document.update(mutate)
+        with pytest.raises(ConfigurationError):
+            obs.validate_simulation_speed(document)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"n": 0},
+            {"steps_numpy": 0},
+            {"steps_python": 2.5},
+            {"seconds_numpy": 0.0},
+            {"seconds_python": -1.0},
+            {"steps_per_second_numpy": "fast"},
+            {"speedup": 0.0},
+            {"identical_trajectory": False},
+            {"identical_trajectory": None},
+        ],
+        ids=["n", "steps-zero", "steps-type", "seconds-zero",
+             "seconds-neg", "sps-type", "speedup-zero",
+             "identical-false", "identical-null"],
+    )
+    def test_rejects_malformed_entries(self, overrides):
+        with pytest.raises(ConfigurationError):
+            obs.validate_simulation_speed(
+                _sim_speed_document(**overrides)
+            )
+
+    def test_rejects_missing_entry_keys(self):
+        document = _sim_speed_document()
+        del document["entries"][0]["speedup"]
+        with pytest.raises(ConfigurationError, match="missing"):
+            obs.validate_simulation_speed(document)
+
+
 def test_validator_rejects_inconsistent_stage_stats():
     bad = {
         "schema": obs.SCHEMA_VERSION,

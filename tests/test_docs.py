@@ -119,6 +119,22 @@ class TestObservabilityDocument:
         assert "docs/observability.md" in (REPO / "README.md").read_text()
         assert "observability.md" in (REPO / "docs" / "api.md").read_text()
 
+    def test_simulation_performance_section_is_current(self):
+        """The engine knob and bench schema docs must track the code."""
+        from repro import obs
+        from repro.thermal.simulation import ENGINES
+
+        text = (REPO / "docs" / "observability.md").read_text()
+        assert "## Simulation performance" in text
+        for engine in ENGINES:
+            assert f'engine="{engine}"' in text, engine
+        assert "steady_state_many" in text
+        assert "validate_simulation_speed" in text
+        assert obs.validate_simulation_speed  # the documented validator
+        assert obs.suspended_tracing  # the documented bench helper
+        assert "REPRO_BENCH_SIM_NS" in text
+        assert (REPO / "benchmarks" / "bench_simulation_speed.py").exists()
+
 
 class TestResilienceDocument:
     def test_every_python_block_executes(self, tmp_path, monkeypatch):

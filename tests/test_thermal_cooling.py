@@ -109,6 +109,40 @@ class TestSteadyStateModel:
             12000.0 / 0.25 + 3000.0
         )
 
+    def test_coil_limit_caps_power_when_return_given(self):
+        # Regression: steady_state_power used to clamp only to q_max,
+        # quoting power for heat the coil cannot remove.  At a return
+        # temperature 2 K above t_ac_min the coil limit is
+        # (t_return - t_ac_min) * f_ac * c_air — well under q_max — and
+        # the quoted power must respect it, exactly as the transient PI
+        # loop (max_capacity_for_return) and the saturated-mode
+        # steady-state solver do.
+        unit = make_unit()
+        t_return = unit.t_ac_min + 2.0
+        coil_limit = 2.0 * 1.4 * units.C_AIR
+        assert coil_limit < unit.q_max
+        assert unit.steady_state_power(1e6, t_return=t_return) == (
+            pytest.approx(coil_limit / 0.25 + 3000.0)
+        )
+        assert unit.steady_state_power(
+            1e6, t_return=t_return
+        ) == pytest.approx(
+            unit.max_capacity_for_return(t_return) / 0.25 + 3000.0
+        )
+
+    def test_return_temperature_changes_nothing_within_limits(self):
+        # Far from both limits the optional argument is inert.
+        unit = make_unit()
+        assert unit.steady_state_power(2500.0, t_return=300.0) == (
+            unit.steady_state_power(2500.0)
+        )
+
+    def test_negative_load_costs_only_fan_with_return(self):
+        unit = make_unit()
+        assert unit.steady_state_power(-10.0, t_return=285.0) == (
+            pytest.approx(3000.0)
+        )
+
     def test_supply_temperature_enthalpy_balance(self):
         # T_ac = T_return - q/(f_ac c_air): the relation that makes the
         # paper's Eq. 10 exact at steady state.

@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro import units
-from repro.errors import ConfigurationError, ConvergenceError
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    SimulationError,
+)
 from repro.testbed.rack import TestbedConfig, build_cooler, build_room
 from repro.thermal.simulation import RoomSimulation
 
@@ -168,3 +172,63 @@ class TestTransientIntegration:
         cooler = build_cooler(TestbedConfig(n_machines=3, cooler_flow=2.0))
         with pytest.raises(ConfigurationError):
             RoomSimulation(room, cooler)
+
+    def test_run_integrates_exactly_the_requested_duration(self):
+        # Regression: run(1.0, dt=0.3) used to round to three steps and
+        # silently integrate only 0.9 s.  The remainder sub-step makes
+        # time advance by exactly the requested duration.
+        sim = make_sim()
+        sim.set_node_powers([50.0] * 5)
+        sim.run(1.0, dt=0.3)
+        assert sim.time == 1.0
+        # A reference run stepped manually (3 x 0.3 s + 0.1 s) lands in
+        # the identical state.
+        ref = make_sim()
+        ref.set_node_powers([50.0] * 5)
+        for _ in range(3):
+            ref.step(0.3)
+        ref.step(1.0 - 3 * 0.3)  # the exact remainder run() takes
+        assert sim.t_room == ref.t_room
+        assert np.array_equal(sim.t_cpu, ref.t_cpu)
+
+    def test_run_exact_multiple_takes_no_remainder_substep(self):
+        sim = make_sim()
+        sim.set_node_powers([50.0] * 5)
+        sim.run(10.0, dt=0.5)
+        assert sim.time == 10.0
+
+    def test_run_rejects_negative_duration(self):
+        sim = make_sim()
+        with pytest.raises(ConfigurationError):
+            sim.run(-1.0)
+
+    @pytest.mark.parametrize("engine", ["numpy", "python"])
+    def test_nan_in_box_temperature_trips_divergence_guard(self, engine):
+        # Regression: the divergence check used to validate t_cpu and
+        # t_room but not t_box, so a NaN in the box temperatures passed
+        # the guard and poisoned every later step.
+        config = TestbedConfig(n_machines=5)
+        rng = np.random.default_rng(1)
+        sim = RoomSimulation(
+            build_room(config, rng), build_cooler(config), engine=engine
+        )
+        sim.set_node_powers([50.0] * 5)
+        sim.step(0.5)
+        sim.t_box[2] = float("nan")
+        with np.errstate(invalid="ignore"):
+            with pytest.raises(SimulationError, match="diverged"):
+                sim.step(0.5)
+
+    @pytest.mark.parametrize("engine", ["numpy", "python"])
+    def test_nan_in_cpu_temperature_trips_divergence_guard(self, engine):
+        config = TestbedConfig(n_machines=5)
+        rng = np.random.default_rng(1)
+        sim = RoomSimulation(
+            build_room(config, rng), build_cooler(config), engine=engine
+        )
+        sim.set_node_powers([50.0] * 5)
+        sim.step(0.5)
+        sim.t_cpu[0] = float("inf")
+        with np.errstate(invalid="ignore"):
+            with pytest.raises(SimulationError, match="diverged"):
+                sim.step(0.5)
