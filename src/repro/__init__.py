@@ -47,6 +47,7 @@ from repro.errors import (
     InfeasibleError,
     ProfilingError,
     ReproError,
+    ServingUnavailableError,
     SimulationError,
 )
 from repro.testbed.experiment import ExperimentRecord, Testbed
@@ -65,6 +66,7 @@ __all__ = [
     "ConvergenceError",
     "ProfilingError",
     "SimulationError",
+    "ServingUnavailableError",
     # models
     "PowerModel",
     "NodeCoefficients",

@@ -18,6 +18,8 @@ Usage::
     repro dashboard                 # run the scenario and render it live
     repro faults --machines 6       # fault campaign -> resilience.json
     repro faults --quick --seed 7   # two-scenario smoke campaign
+    repro serve --socket repro.sock # allocation daemon on a unix socket
+    repro serve --port 7077 --model model.json  # ... over TCP, saved model
 
 Heavy contexts (profiling campaigns) are cached per process, so ``repro
 all`` profiles the testbed once.
@@ -79,7 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help="figure id (fig1..fig10, headline, algorithms), 'all', "
         "'list', 'profile', 'solve', 'index', 'metrics', 'trace', "
-        "'dashboard', or 'faults'",
+        "'dashboard', 'faults', or 'serve'",
     )
     parser.add_argument(
         "--seed",
@@ -180,6 +182,50 @@ def build_parser() -> argparse.ArgumentParser:
         "(trace/dashboard targets only)",
     )
     parser.add_argument(
+        "--socket",
+        default=None,
+        help="serve on this unix domain socket path (serve target only)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP bind address for --port (serve target only)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve on this TCP port; 0 binds an ephemeral port "
+        "(serve target only)",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        help="micro-batching collection window in seconds: how long the "
+        "first request of a batch waits for concurrent company "
+        "(serve target only; see docs/serving.md for tuning)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=512,
+        help="requests per batched dispatch, at most (serve target only)",
+    )
+    parser.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="disable micro-batching: dispatch every request alone "
+        "(the benchmark baseline; serve target only)",
+    )
+    parser.add_argument(
+        "--serving",
+        default=None,
+        help="serving benchmark document to render in the dashboard's "
+        "Serving section (dashboard target only; default "
+        "benchmarks/results/serving.json when it exists)",
+    )
+    parser.add_argument(
         "--sim-engine",
         choices=("numpy", "python"),
         default="numpy",
@@ -251,8 +297,65 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.target == "list":
         for name in [*standalone, *contextual, "all", "profile", "solve",
                      "index", "report", "metrics", "trace", "dashboard",
-                     "faults"]:
+                     "faults", "serve"]:
             print(name)
+        return 0
+
+    if args.target == "serve":
+        import asyncio
+
+        from repro.core.optimizer import JointOptimizer
+        from repro.serving import AllocationServer, ServingConfig
+
+        if args.socket is None and args.port is None:
+            print(
+                "serve requires --socket <path> or --port <n>",
+                file=sys.stderr,
+            )
+            return 2
+        if args.model:
+            from repro.core.serialization import load_system_model
+
+            model = load_system_model(args.model)
+        else:
+            ctx = default_context(
+                seed=args.seed, n_machines=args.machines,
+                sim_engine=args.sim_engine,
+            )
+            model = ctx.model
+        optimizer = JointOptimizer(model, index_cache_dir=args.cache_dir)
+        config = ServingConfig(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            batch_window=args.batch_window,
+            max_batch=args.max_batch,
+            batching=not args.no_batching,
+        )
+        server = AllocationServer(optimizer, config)
+
+        async def _serve() -> None:
+            await server.start()
+            mode = "off" if args.no_batching else (
+                f"on, window {1e3 * config.batch_window:.1f} ms, "
+                f"max {config.max_batch}"
+            )
+            print(
+                f"warm index ready: {server.index_statuses} statuses over "
+                f"{model.node_count} machines (batching {mode})"
+            )
+            if server.address[0] == "unix":
+                print(f"serving on unix socket {server.address[1]}",
+                      flush=True)
+            else:
+                print(
+                    f"serving on {server.address[1]}:{server.address[2]}",
+                    flush=True,
+                )
+            await server.serve_forever()
+
+        asyncio.run(_serve())
+        print("drained cleanly")
         return 0
 
     if args.target == "faults":
@@ -367,22 +470,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.target == "dashboard":
+        import json
         import pathlib
 
         from repro.analysis.report import render_dashboard
         from repro.obs import TraceBuffer
 
+        serving = None
+        serving_path = pathlib.Path(
+            args.serving or "benchmarks/results/serving.json"
+        )
+        if serving_path.exists():
+            serving = json.loads(serving_path.read_text())
+        elif args.serving:
+            print(f"no serving document at {serving_path}", file=sys.stderr)
+            return 2
         if args.trace:
             buffer = TraceBuffer.from_jsonl(
                 pathlib.Path(args.trace).read_text()
             )
-            print(render_dashboard(buffer))
+            print(render_dashboard(buffer, serving=serving))
         else:
             buffer, wd = _run_traced_scenario(
                 args.seed, args.machines, args.load, args.policy,
                 sim_engine=args.sim_engine,
             )
-            print(render_dashboard(buffer, watchdog=wd))
+            print(render_dashboard(buffer, watchdog=wd, serving=serving))
         return 0
 
     if args.target == "metrics":

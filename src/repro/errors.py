@@ -53,3 +53,13 @@ class ProfilingError(ReproError):
 
 class SimulationError(ReproError):
     """The thermal simulation entered an invalid state (NaN, blow-up)."""
+
+
+class ServingUnavailableError(ReproError):
+    """The serving daemon cannot accept the request right now.
+
+    Raised (locally, or re-raised client-side from a structured error
+    response) when a request reaches a :class:`repro.serving.AllocationServer`
+    that is draining for shutdown or has not finished starting.  Clients
+    should treat it as retryable against a healthy replica.
+    """

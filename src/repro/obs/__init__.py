@@ -31,9 +31,11 @@ from repro.obs.export import (
     validate_bench_observability,
     validate_consolidation_scale,
     validate_resilience,
+    validate_serving,
     validate_simulation_speed,
     write_bench_observability,
     write_resilience,
+    write_serving,
 )
 from repro.obs.metrics import (
     MAX_HISTOGRAM_SAMPLES,
@@ -119,8 +121,10 @@ __all__ = [
     "validate_bench_observability",
     "validate_consolidation_scale",
     "validate_resilience",
+    "validate_serving",
     "validate_simulation_speed",
     "write_resilience",
+    "write_serving",
     # tracing
     "trace",
     "TRACE_SCHEMA_VERSION",

@@ -524,3 +524,172 @@ def validate_simulation_speed(document: Mapping) -> None:
                 "'identical_trajectory' must be true — engines disagreed "
                 "or the equivalence check did not run"
             )
+
+
+#: Keys every serving-benchmark entry must carry.
+_SERVING_ENTRY_KEYS = (
+    "clients", "batching", "batch_window_seconds", "max_batch",
+    "requests", "errors", "duration_seconds", "requests_per_second",
+    "latency_mean_ms", "latency_p50_ms", "latency_p99_ms",
+    "batches", "mean_batch_size", "max_batch_size", "coalesced",
+    "identical_answers", "batch_size_histogram",
+)
+
+
+def validate_serving(document: Mapping) -> None:
+    """Raise :class:`ConfigurationError` unless ``document`` is a valid
+    serving-benchmark record.
+
+    Shape (written by ``benchmarks/bench_serving.py`` to
+    ``benchmarks/results/serving.json``; rendered by the
+    ``repro dashboard`` serving section)::
+
+        {
+          "schema": 1,
+          "kind": "serving",
+          "seed": <int>,
+          "machines": <n>,
+          "index_statuses": <rows in the warm Algorithm-1 table>,
+          "levels": <distinct quantized load levels in the workload>,
+          "warm_start_seconds": <index warm-start wall clock, s>,
+          "entries": [
+            {
+              "clients": <concurrent clients simulated>,
+              "batching": true | false,
+              "batch_window_seconds": <collector window, s>,
+              "max_batch": <dispatch cap>,
+              "requests": <completed>, "errors": <failed>,
+              "duration_seconds": <makespan, s>,
+              "requests_per_second": <throughput>,
+              "latency_mean_ms": <ms>, "latency_p50_ms": <ms>,
+              "latency_p99_ms": <ms>,
+              "batches": <dispatches>, "mean_batch_size": <float>,
+              "max_batch_size": <int>,
+              "coalesced": <duplicate loads answered from a batch twin>,
+              "identical_answers": true,
+              "batch_size_histogram": {"<dispatch size>": <count>, ...}
+            }, ...
+          ]
+        }
+
+    Every ``clients`` level must appear exactly twice — once batched,
+    once unbatched — because the artifact's whole point is the paired
+    comparison.  ``identical_answers`` records that the benchmark
+    cross-checked served allocations against direct
+    ``JointOptimizer.solve`` calls.
+    """
+    if not isinstance(document, Mapping):
+        raise ConfigurationError("serving document must be a mapping")
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported serving schema {document.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    if document.get("kind") != "serving":
+        raise ConfigurationError(
+            f"not a serving record (kind={document.get('kind')!r})"
+        )
+    if not isinstance(document.get("seed"), int):
+        raise ConfigurationError("'seed' must be an int")
+    for key in ("machines", "index_statuses", "levels"):
+        value = document.get(key)
+        if not isinstance(value, int) or value < 1:
+            raise ConfigurationError(f"{key!r} must be a positive int")
+    warm = document.get("warm_start_seconds")
+    if not isinstance(warm, (int, float)) or warm < 0.0:
+        raise ConfigurationError(
+            "'warm_start_seconds' must be a non-negative number"
+        )
+    entries = document.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ConfigurationError("'entries' must be a non-empty list")
+    modes_by_clients: dict = {}
+    for entry in entries:
+        if not isinstance(entry, Mapping):
+            raise ConfigurationError("each entry must be a map")
+        missing = [k for k in _SERVING_ENTRY_KEYS if k not in entry]
+        if missing:
+            raise ConfigurationError(f"entry missing {missing}")
+        if not isinstance(entry["batching"], bool):
+            raise ConfigurationError("entry 'batching' must be a bool")
+        for key in ("clients", "requests", "batches", "max_batch",
+                    "max_batch_size"):
+            value = entry[key]
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"entry {key!r} must be a positive int"
+                )
+        for key in ("errors", "coalesced"):
+            value = entry[key]
+            if not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"entry {key!r} must be a non-negative int"
+                )
+        for key in ("duration_seconds", "requests_per_second",
+                    "latency_mean_ms", "latency_p50_ms", "latency_p99_ms"):
+            value = entry[key]
+            if not isinstance(value, (int, float)) or value <= 0.0:
+                raise ConfigurationError(
+                    f"entry {key!r} must be a positive number"
+                )
+        window = entry["batch_window_seconds"]
+        if not isinstance(window, (int, float)) or window < 0.0:
+            raise ConfigurationError(
+                "entry 'batch_window_seconds' must be a non-negative number"
+            )
+        mean_size = entry["mean_batch_size"]
+        if not isinstance(mean_size, (int, float)) or mean_size < 1.0:
+            raise ConfigurationError(
+                "entry 'mean_batch_size' must be at least 1"
+            )
+        if entry["latency_p50_ms"] > entry["latency_p99_ms"] + 1e-9:
+            raise ConfigurationError("entry p50 latency exceeds p99")
+        if entry["identical_answers"] is not True:
+            raise ConfigurationError(
+                "'identical_answers' must be true — served allocations "
+                "were not cross-checked against the library"
+            )
+        histogram = entry["batch_size_histogram"]
+        if not isinstance(histogram, Mapping) or not histogram:
+            raise ConfigurationError(
+                "entry 'batch_size_histogram' must be a non-empty map"
+            )
+        accounted = 0
+        for size, count in histogram.items():
+            if (
+                not isinstance(size, str)
+                or not size.isdigit()
+                or int(size) < 1
+                or not isinstance(count, int)
+                or count < 1
+            ):
+                raise ConfigurationError(
+                    "entry 'batch_size_histogram' keys must be positive "
+                    "integer strings with positive int counts"
+                )
+            accounted += int(size) * count
+        if accounted != entry["requests"]:
+            raise ConfigurationError(
+                f"batch_size_histogram accounts for {accounted} requests, "
+                f"entry reports {entry['requests']}"
+            )
+        modes = modes_by_clients.setdefault(entry["clients"], [])
+        modes.append(entry["batching"])
+    for clients, modes in sorted(modes_by_clients.items()):
+        if sorted(modes) != [False, True]:
+            raise ConfigurationError(
+                f"clients={clients} must appear exactly twice "
+                "(batching on and off), got "
+                f"{len(modes)} entries"
+            )
+
+
+def write_serving(
+    path: Union[str, pathlib.Path], document: Mapping
+) -> pathlib.Path:
+    """Validate and write a serving-benchmark document to ``path``."""
+    target = pathlib.Path(path)
+    validate_serving(document)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return target

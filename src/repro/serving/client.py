@@ -1,0 +1,137 @@
+"""Blocking client for the allocation-serving daemon.
+
+A thin, dependency-free wrapper over the JSON-lines protocol: one
+socket, one request per call, structured errors re-raised as the
+matching :mod:`repro.errors` exception — so remote calls read exactly
+like local library calls:
+
+    with ServingClient(socket_path="repro.sock") as client:
+        result = client.allocate(load=120.0)
+        result["on_ids"], result["t_sp"]
+
+Deliberately synchronous: the daemon's micro-batching coalesces many
+*clients*, so each client stays simple.  Scripts that need concurrency
+run many clients (threads/processes), which is exactly what the
+benchmark's load generator simulates.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import socket
+from typing import Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.serving.protocol import MAX_LINE_BYTES, encode, raise_error
+
+
+class ServingClient:
+    """Talk to one ``repro serve`` daemon over unix socket or TCP."""
+
+    def __init__(
+        self,
+        socket_path: Optional[Union[str, pathlib.Path]] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        if (socket_path is None) == (host is None or port is None):
+            raise ConfigurationError(
+                "connect with either socket_path or host+port"
+            )
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(socket_path))
+        else:
+            self._sock = socket.create_connection(
+                (host, int(port)), timeout=timeout
+            )
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def call(self, op: str, **params) -> dict:
+        """Send one request, wait for its response, return the result.
+
+        Raises the re-hydrated :mod:`repro.errors` exception on a
+        structured error response, :class:`ConfigurationError` on a
+        broken envelope or closed connection.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        payload = {"op": op, "id": request_id}
+        payload.update(
+            {key: value for key, value in params.items() if value is not None}
+        )
+        self._sock.sendall(encode(payload))
+        line = self._reader.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConfigurationError(
+                "connection closed by server (draining or crashed?)"
+            )
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"response is not valid JSON: {exc}"
+            ) from exc
+        raise_error(response)
+        if response.get("id") != request_id:
+            raise ConfigurationError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        return response["result"]
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # The protocol ops
+    # ------------------------------------------------------------------ #
+
+    def allocate(
+        self, load: float, exclude: Optional[Sequence[int]] = None
+    ) -> dict:
+        """One joint allocation: ON set, load split, ``t_sp``, power."""
+        return self.call(
+            "allocate",
+            load=load,
+            exclude=None if exclude is None else [int(i) for i in exclude],
+        )
+
+    def max_load(self, budget: float) -> dict:
+        """The paper's ``maxL``: max servable load under a power budget."""
+        return self.call("maxL", budget=budget)
+
+    def what_if(
+        self,
+        loads: Sequence[float],
+        on_ids: Optional[Sequence[int]] = None,
+    ) -> dict:
+        """Score a lookahead horizon (optionally on a pinned ON set)."""
+        return self.call(
+            "what-if",
+            loads=[float(v) for v in loads],
+            on_ids=None if on_ids is None else [int(i) for i in on_ids],
+        )
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def stats(self) -> dict:
+        return self.call("stats")

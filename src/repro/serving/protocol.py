@@ -1,0 +1,202 @@
+"""Wire protocol of the allocation-serving daemon (``repro serve``).
+
+Newline-delimited JSON over a stream transport (TCP or a unix socket).
+Each request is one JSON object on one line; each response is one JSON
+object on one line, echoing the request ``id``.  The protocol is
+deliberately small — three query operations against a warm
+:class:`~repro.core.consolidation.ConsolidationIndex`, plus liveness
+and introspection:
+
+``allocate``
+    One joint allocation: ``{"op": "allocate", "load": <tasks/s>}``
+    (optional ``exclude`` list of machine ids).  Answers with the ON
+    set, the supply/set-point temperatures, the per-machine load split,
+    and the model-predicted total power — the serving form of
+    :meth:`repro.core.optimizer.JointOptimizer.solve`.
+
+``maxL``
+    The paper's dual question: ``{"op": "maxL", "budget": <W>}`` —
+    the maximum servable load under a power budget
+    (:meth:`~repro.core.optimizer.JointOptimizer.max_load_under_budget`).
+
+``what-if``
+    A receding-horizon lookahead: ``{"op": "what-if", "loads": [...]}``
+    answers every horizon point in one batched index pass
+    (:meth:`~repro.core.consolidation.ConsolidationIndex.query_many`);
+    an optional ``on_ids`` pins an explicit ON set instead, scoring the
+    horizon against a fixed configuration.
+
+``ping`` / ``stats``
+    Liveness and the server's metrics snapshot (request counts, latency
+    percentiles, batch-size distribution, watchdog stalls).
+
+Responses are ``{"id": ..., "ok": true, "result": {...}}`` on success.
+Failures are *structured*, reusing the :mod:`repro.errors` hierarchy:
+``{"id": ..., "ok": false, "error": {"type": "InfeasibleError",
+"message": "..."}}`` — the client re-raises the matching exception
+class (:func:`raise_error`), so a remote infeasible load is caught with
+the same ``except InfeasibleError`` as a local one.  A malformed
+request never kills the connection: it yields a ``ConfigurationError``
+response with ``id: null`` when no id could be recovered.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro import errors
+from repro.errors import ConfigurationError, ReproError
+
+#: Protocol schema stamp, echoed by ``ping`` and ``stats``.
+PROTOCOL_VERSION = 1
+
+#: Operations the daemon answers.
+OPS = ("allocate", "maxL", "what-if", "ping", "stats")
+
+#: Longest accepted request line, bytes (guards the stream reader
+#: against unbounded buffering; a 10k-point what-if horizon fits).
+MAX_LINE_BYTES = 1_000_000
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded, validated request."""
+
+    op: str
+    id: Optional[Any] = None
+    load: Optional[float] = None
+    budget: Optional[float] = None
+    loads: Optional[tuple[float, ...]] = None
+    on_ids: Optional[tuple[int, ...]] = None
+    exclude: tuple[int, ...] = field(default=())
+
+
+def _number(payload: Mapping, key: str, *, required: bool) -> Optional[float]:
+    value = payload.get(key)
+    if value is None:
+        if required:
+            raise ConfigurationError(f"{key!r} is required for this op")
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(f"{key!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def _id_list(payload: Mapping, key: str) -> Optional[tuple[int, ...]]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, list) or any(
+        isinstance(v, bool) or not isinstance(v, int) for v in value
+    ):
+        raise ConfigurationError(f"{key!r} must be a list of machine ids")
+    return tuple(int(v) for v in value)
+
+
+def parse_request(payload: Any) -> Request:
+    """Validate a decoded JSON payload into a :class:`Request`.
+
+    Raises
+    ------
+    ConfigurationError
+        On any shape problem: not an object, unknown/missing ``op``,
+        missing or mistyped parameters.  The message is safe to send
+        back verbatim in a structured error response.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    op = payload.get("op")
+    if op not in OPS:
+        raise ConfigurationError(
+            f"unknown op {op!r}; expected one of {list(OPS)}"
+        )
+    request_id = payload.get("id")
+    load = budget = None
+    loads = on_ids = None
+    if op == "allocate":
+        load = _number(payload, "load", required=True)
+    elif op == "maxL":
+        budget = _number(payload, "budget", required=True)
+    elif op == "what-if":
+        raw = payload.get("loads")
+        if not isinstance(raw, list) or not raw or any(
+            isinstance(v, bool) or not isinstance(v, (int, float))
+            for v in raw
+        ):
+            raise ConfigurationError(
+                "'loads' must be a non-empty list of numbers"
+            )
+        loads = tuple(float(v) for v in raw)
+        on_ids = _id_list(payload, "on_ids")
+    exclude = _id_list(payload, "exclude") or ()
+    if exclude and op not in ("allocate",):
+        raise ConfigurationError("'exclude' is only valid for 'allocate'")
+    return Request(
+        op=op, id=request_id, load=load, budget=budget,
+        loads=loads, on_ids=on_ids, exclude=exclude,
+    )
+
+
+def decode_request(line: str) -> Request:
+    """Parse one wire line into a :class:`Request`.
+
+    Raises :class:`ConfigurationError` on invalid JSON (the transport
+    layer turns it into an error response, keeping the connection up).
+    """
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"request is not valid JSON: {exc}") from exc
+    return parse_request(payload)
+
+
+def ok_response(request_id: Optional[Any], result: Mapping) -> dict:
+    """A success envelope for ``result``."""
+    return {"id": request_id, "ok": True, "result": dict(result)}
+
+
+def error_response(request_id: Optional[Any], exc: Exception) -> dict:
+    """A structured-error envelope for ``exc``.
+
+    The ``type`` field carries the :mod:`repro.errors` class name when
+    ``exc`` belongs to the family, else the literal ``"ReproError"`` —
+    a client always gets a raisable type.
+    """
+    name = type(exc).__name__
+    if not isinstance(exc, ReproError) or not isinstance(
+        getattr(errors, name, None), type
+    ):
+        name = "ReproError"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": name, "message": str(exc)},
+    }
+
+
+def encode(message: Mapping) -> bytes:
+    """One wire line (UTF-8 JSON + newline) for a request or response."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode()
+
+
+def raise_error(response: Mapping) -> None:
+    """Re-raise the :mod:`repro.errors` exception a failure encodes.
+
+    No-op for success envelopes; raises :class:`ConfigurationError` on
+    envelopes that are themselves malformed.
+    """
+    if not isinstance(response, Mapping) or "ok" not in response:
+        raise ConfigurationError(f"malformed response envelope: {response!r}")
+    if response["ok"]:
+        return
+    error = response.get("error")
+    if not isinstance(error, Mapping) or "type" not in error:
+        raise ConfigurationError(f"malformed error envelope: {response!r}")
+    cls = getattr(errors, str(error["type"]), None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ReproError
+    raise cls(str(error.get("message", "remote error")))

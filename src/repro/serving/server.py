@@ -1,0 +1,696 @@
+"""The allocation-serving daemon: a warm index behind an asyncio loop.
+
+:class:`AllocationServer` turns the batch library into an online
+system: it warm-starts a :class:`~repro.core.consolidation.ConsolidationIndex`
+(from the persistent ``.npz`` cache when the optimizer has an
+``index_cache_dir``), listens on a unix socket or TCP, and answers the
+protocol's ``allocate`` / ``maxL`` / ``what-if`` queries.
+
+Concurrency model — one event loop, one compute thread:
+
+- The loop owns all I/O (connections, the :class:`MicroBatcher`
+  collection window, the watchdog).
+- All numeric work runs on a single-worker ``ThreadPoolExecutor``, so
+  the loop keeps collecting the *next* batch while the current one
+  computes, and the (non-thread-safe) index caches are only ever
+  touched from one thread.
+
+Batched ``allocate`` dispatch groups the batch's loads into one
+:meth:`~repro.core.consolidation.ConsolidationIndex.query_many` call
+and answers duplicate concurrent loads once (closed form included) —
+the coalescing the serving benchmark measures.  Every path that can
+fail returns the same :mod:`repro.errors` exception the library call
+would raise locally; the protocol layer turns it into a structured
+error response.
+
+Shutdown is a *drain*: stop accepting, finish every in-flight batched
+request, then close.  ``serve_forever`` wires SIGTERM/SIGINT to the
+drain, so ``kill <pid>`` loses no accepted request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import pathlib
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+from repro import obs
+from repro.core.closed_form import solve_closed_form
+from repro.core.optimizer import JointOptimizer
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleError,
+    ReproError,
+    ServingUnavailableError,
+)
+from repro.obs.metrics import Histogram
+from repro.serving.batcher import MicroBatcher
+from repro.serving.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    Request,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+
+def _recover_request_id(message: Any) -> Any:
+    """Best-effort ``id`` extraction from an unparseable request.
+
+    Echoing the id back (when the envelope was at least valid JSON)
+    lets pipelined clients correlate the structured error with the
+    request that caused it.
+    """
+    if isinstance(message, str):
+        try:
+            message = json.loads(message)
+        except ValueError:
+            return None
+    if isinstance(message, Mapping):
+        candidate = message.get("id")
+        if isinstance(candidate, (str, int)) and not isinstance(
+            candidate, bool
+        ):
+            return candidate
+    return None
+
+
+@dataclass
+class ServingConfig:
+    """Tunables of one :class:`AllocationServer`.
+
+    Exactly one transport may be configured: ``socket_path`` (unix
+    domain socket) or ``port`` (TCP on ``host``; port ``0`` binds an
+    ephemeral port, reported in :attr:`AllocationServer.address`).
+    With neither, the server is in-process only — :meth:`AllocationServer.handle`
+    still works, which is how the load generator drives it.
+
+    ``batch_window`` is the micro-batching lever (see
+    ``docs/serving.md`` for tuning guidance): the seconds the first
+    request of a batch waits for concurrent company.  ``batching=False``
+    keeps the identical queue/dispatch machinery but forces singleton
+    batches — the benchmark baseline.
+    """
+
+    socket_path: Optional[Union[str, pathlib.Path]] = None
+    host: str = "127.0.0.1"
+    port: Optional[int] = None
+    batch_window: float = 0.005
+    max_batch: int = 512
+    batching: bool = True
+    drain_grace: float = 10.0
+    watchdog_interval: float = 0.25
+    stall_threshold: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.socket_path is not None and self.port is not None:
+            raise ConfigurationError(
+                "configure either socket_path or port, not both"
+            )
+        if self.batch_window < 0.0:
+            raise ConfigurationError(
+                f"batch_window must be non-negative, got {self.batch_window}"
+            )
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be at least 1, got {self.max_batch}"
+            )
+        if self.drain_grace <= 0.0:
+            raise ConfigurationError(
+                f"drain_grace must be positive, got {self.drain_grace}"
+            )
+        if self.watchdog_interval <= 0.0 or self.stall_threshold <= 0.0:
+            raise ConfigurationError(
+                "watchdog_interval and stall_threshold must be positive"
+            )
+
+
+class AllocationServer:
+    """Serve joint allocation queries from a warm in-memory index."""
+
+    def __init__(
+        self,
+        optimizer: JointOptimizer,
+        config: Optional[ServingConfig] = None,
+    ) -> None:
+        self.optimizer = optimizer
+        self.config = config or ServingConfig()
+        self._batcher = MicroBatcher(
+            self._dispatch,
+            batch_window=self.config.batch_window,
+            max_batch=self.config.max_batch,
+            batching=self.config.batching,
+        )
+        #: Per-op end-to-end latency (includes batching wait), seconds.
+        self.latency: dict[str, Histogram] = {
+            op: Histogram(f"serving.latency.{op}") for op in OPS
+        }
+        self.requests: dict[str, int] = {}
+        self.errors: dict[str, int] = {}
+        self.invalid_requests = 0
+        self.coalesced = 0
+        self.stalls = 0
+        self.max_loop_lag = 0.0
+        self.index_statuses = 0
+        #: ``("unix", path)`` or ``("tcp", host, port)`` once bound.
+        self.address: Optional[tuple] = None
+        self._inflight = 0
+        self._started = False
+        self._draining = False
+        self._started_at = 0.0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._asyncio_server: Optional[asyncio.AbstractServer] = None
+        self._watchdog_task: Optional[asyncio.Task] = None
+        self._drained_event: Optional[asyncio.Event] = None
+        self._writers: set = set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _warm_start(self) -> None:
+        """Force the index build (or ``.npz`` cache load) before the
+        first request, so no client pays the O(n^3 log n) cold start."""
+        with obs.timed("serving/warm_start"):
+            index = self.optimizer.index
+        self.index_statuses = index.status_count
+
+    async def start(self) -> None:
+        """Warm the index, start the batcher/watchdog, bind transports."""
+        if self._started:
+            raise ConfigurationError("server is already started")
+        self._started = True
+        self._loop = asyncio.get_running_loop()
+        self._drained_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        # Warm on the compute thread: the loop (and any already-bound
+        # signal handling) stays responsive during a long cold build.
+        await self._loop.run_in_executor(self._executor, self._warm_start)
+        self._batcher.start()
+        self._watchdog_task = asyncio.create_task(
+            self._watchdog_loop(), name="repro-serve-watchdog"
+        )
+        if self.config.socket_path is not None:
+            path = str(self.config.socket_path)
+            with contextlib.suppress(OSError):
+                os.unlink(path)  # stale socket from a killed process
+            self._asyncio_server = await asyncio.start_unix_server(
+                self._serve_connection, path=path, limit=MAX_LINE_BYTES
+            )
+            self.address = ("unix", path)
+        elif self.config.port is not None:
+            self._asyncio_server = await asyncio.start_server(
+                self._serve_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=MAX_LINE_BYTES,
+            )
+            bound = self._asyncio_server.sockets[0].getsockname()
+            self.address = ("tcp", self.config.host, int(bound[1]))
+        self._started_at = time.monotonic()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: reject new work, finish in-flight work.
+
+        Idempotent; concurrent callers all wait for the single drain to
+        complete.  Order matters: close the listeners first (no new
+        connections), flip the draining flag (new requests on live
+        connections get :class:`~repro.errors.ServingUnavailableError`),
+        then drain the batcher so every already-accepted request
+        resolves before the compute thread shuts down.
+        """
+        if self._drained_event is None:
+            return
+        if self._draining:
+            await self._drained_event.wait()
+            return
+        self._draining = True
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+        await self._batcher.drain()
+        deadline = self._loop.time() + self.config.drain_grace
+        while self._inflight > 0 and self._loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._watchdog_task
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        if self.address is not None and self.address[0] == "unix":
+            with contextlib.suppress(OSError):
+                os.unlink(self.address[1])
+        self._drained_event.set()
+
+    async def serve_forever(self, handle_signals: bool = True) -> None:
+        """Run until SIGTERM/SIGINT, then drain — the daemon main loop."""
+        if not self._started:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed = []
+        if handle_signals:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                    installed.append(sig)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-main thread or unsupported platform
+        try:
+            await stop.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await self.drain()
+
+    async def _watchdog_loop(self) -> None:
+        """Self-check heartbeat: event-loop lag and queue depth.
+
+        A sleep that oversleeps by more than ``stall_threshold`` means
+        the loop was blocked (a compute leak onto the loop thread, or a
+        starved host) — counted as a stall and recorded as a trace
+        event so post-mortems can line it up with the request timeline.
+        """
+        interval = self.config.watchdog_interval
+        loop = asyncio.get_running_loop()
+        while True:
+            before = loop.time()
+            await asyncio.sleep(interval)
+            lag = loop.time() - before - interval
+            if lag > self.max_loop_lag:
+                self.max_loop_lag = lag
+            if lag > self.config.stall_threshold:
+                self.stalls += 1
+                obs.count("serving.watchdog_stalls")
+                obs.add_event(
+                    "serving.stall",
+                    lag_seconds=round(lag, 6),
+                    queue_depth=self._batcher.depth,
+                    inflight=self._inflight,
+                )
+            obs.set_gauge("serving.queue_depth", self._batcher.depth)
+            obs.set_gauge("serving.inflight", self._inflight)
+
+    # ------------------------------------------------------------------ #
+    # Request handling
+    # ------------------------------------------------------------------ #
+
+    async def handle(self, message: Any) -> dict:
+        """Answer one request (wire line, JSON payload, or Request).
+
+        Always returns a response envelope — library errors become
+        structured error responses, never exceptions, so one bad
+        request cannot take down a connection (or the caller's task).
+        """
+        t0 = time.perf_counter()
+        try:
+            if isinstance(message, Request):
+                request = message
+            elif isinstance(message, str):
+                request = decode_request(message)
+            else:
+                request = parse_request(message)
+        except ConfigurationError as exc:
+            self.invalid_requests += 1
+            obs.count("serving.invalid_requests")
+            return error_response(_recover_request_id(message), exc)
+        op = request.op
+        self.requests[op] = self.requests.get(op, 0) + 1
+        try:
+            if self._draining and op not in ("ping", "stats"):
+                raise ServingUnavailableError(
+                    "server is draining; retry against a healthy replica"
+                )
+            with obs.timed(f"serving/{op}"):
+                if op == "ping":
+                    result = {
+                        "protocol": PROTOCOL_VERSION,
+                        "status": "draining" if self._draining else "ok",
+                        "machines": self.optimizer.model.node_count,
+                    }
+                elif op == "stats":
+                    result = self.stats()
+                else:
+                    self._inflight += 1
+                    try:
+                        result = await self._batcher.submit(request)
+                    finally:
+                        self._inflight -= 1
+            response = ok_response(request.id, result)
+        except ReproError as exc:
+            self.errors[op] = self.errors.get(op, 0) + 1
+            obs.count("serving.errors")
+            response = error_response(request.id, exc)
+        self.latency[op].observe(time.perf_counter() - t0)
+        return response
+
+    async def _serve_connection(self, reader, writer) -> None:
+        """One JSON-lines connection: requests in, envelopes out."""
+        self._writers.add(writer)
+        obs.count("serving.connections")
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Oversized line: the buffer can no longer be
+                    # trusted to frame requests — answer and hang up.
+                    writer.write(encode(error_response(
+                        None,
+                        ConfigurationError(
+                            f"request line exceeds {MAX_LINE_BYTES} bytes"
+                        ),
+                    )))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace")
+                if not text.strip():
+                    continue
+                writer.write(encode(await self.handle(text)))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    # ------------------------------------------------------------------ #
+    # Batched compute (runs on the single compute thread)
+    # ------------------------------------------------------------------ #
+
+    async def _dispatch(self, batch: list[Request]) -> list:
+        return await self._loop.run_in_executor(
+            self._executor, self._compute_batch, batch
+        )
+
+    def _compute_batch(self, requests: list[Request]) -> list:
+        """One outcome (result dict or exception) per request."""
+        with obs.timed("serving/batch"):
+            outcomes: list = [None] * len(requests)
+            grouped = []
+            for i, request in enumerate(requests):
+                if (
+                    request.op == "allocate"
+                    and not request.exclude
+                    and self.optimizer.selection == "index"
+                ):
+                    grouped.append(i)
+                else:
+                    outcomes[i] = self._compute_single(request)
+            if grouped:
+                self._compute_grouped_allocations(
+                    requests, grouped, outcomes
+                )
+            obs.set_span_attributes(
+                batch=len(requests), grouped=len(grouped)
+            )
+        return outcomes
+
+    def _compute_single(self, request: Request):
+        """The ungrouped fallback: exactly the library call, per request."""
+        try:
+            if request.op == "allocate":
+                result = self.optimizer.solve(
+                    request.load,
+                    exclude=list(request.exclude) or None,
+                )
+                return self._allocation_payload(result.solution, result.method)
+            if request.op == "maxL":
+                max_load, result = self.optimizer.max_load_under_budget(
+                    request.budget
+                )
+                return {
+                    "max_load": float(max_load),
+                    "allocation": self._allocation_payload(
+                        result.solution, result.method
+                    ),
+                }
+            if request.op == "what-if":
+                return self._what_if(request)
+        except ReproError as exc:
+            return exc
+        return ConfigurationError(f"unserveable op {request.op!r}")
+
+    def _compute_grouped_allocations(
+        self, requests: list[Request], grouped: list[int], outcomes: list
+    ) -> None:
+        """All plain ``allocate`` ops of a batch in one index pass.
+
+        Duplicate loads share one answer — ON set *and* closed form —
+        which is the serving-level coalescing win on top of
+        ``query_many``'s internal dedup.  Guards mirror
+        :meth:`JointOptimizer.select_on_set` so a batched request fails
+        with exactly the error its unbatched twin would raise.
+        """
+        capacity = float(sum(self.optimizer.model.capacities))
+        positions, loads = [], []
+        for i in grouped:
+            load = requests[i].load
+            if load <= 0.0:
+                outcomes[i] = ConfigurationError(
+                    "total load must be positive to select machines, "
+                    f"got {load}"
+                )
+            else:
+                positions.append(i)
+                loads.append(load)
+        if not positions:
+            return
+        on_sets = self.optimizer.index.query_many(
+            loads, skip_infeasible=True
+        )
+        shared: dict[float, Any] = {}
+        coalesced = 0
+        for i, load, chosen in zip(positions, loads, on_sets):
+            if load in shared:
+                outcomes[i] = shared[load]
+                coalesced += 1
+                continue
+            if chosen is None:
+                outcome: Any = InfeasibleError(
+                    f"load {load:.3f} exceeds capacity {capacity:.3f}"
+                )
+            else:
+                try:
+                    solution = solve_closed_form(
+                        self.optimizer.model, chosen, load
+                    )
+                    outcome = self._allocation_payload(solution, "index")
+                except ReproError as exc:
+                    outcome = exc
+            shared[load] = outcome
+            outcomes[i] = outcome
+        if coalesced:
+            self.coalesced += coalesced
+            obs.count("serving.coalesced", coalesced)
+
+    def _allocation_payload(self, solution, method: str) -> dict:
+        return {
+            "method": method,
+            "on_ids": [int(i) for i in solution.on_ids],
+            "machines_on": len(solution.on_ids),
+            "t_ac": float(solution.t_ac),
+            "t_sp": float(solution.t_sp),
+            "loads": {
+                str(int(i)): float(solution.loads[i])
+                for i in solution.on_ids
+            },
+            "predicted_total_power": float(solution.predicted_total_power),
+            "clamped": bool(solution.clamped),
+            "repaired": bool(solution.repaired),
+        }
+
+    def _what_if(self, request: Request) -> dict:
+        """A lookahead horizon, scored in one batched pass."""
+        model = self.optimizer.model
+
+        def feasible_entry(load: float, solution) -> dict:
+            return {
+                "load": float(load),
+                "feasible": True,
+                "machines_on": len(solution.on_ids),
+                "t_sp": float(solution.t_sp),
+                "predicted_total_power": float(
+                    solution.predicted_total_power
+                ),
+            }
+
+        def infeasible_entry(load: float, exc: Exception) -> dict:
+            return {"load": float(load), "feasible": False,
+                    "error": str(exc)}
+
+        entries: list[dict] = []
+        if request.on_ids is not None:
+            # Pinned configuration: score the horizon against it.
+            for load in request.loads:
+                try:
+                    solution = solve_closed_form(
+                        model, list(request.on_ids), load
+                    )
+                    entries.append(feasible_entry(load, solution))
+                except ReproError as exc:
+                    entries.append(infeasible_entry(load, exc))
+        elif self.optimizer.selection == "index":
+            shared: dict[float, dict] = {}
+            valid = [
+                (k, load)
+                for k, load in enumerate(request.loads)
+                if load > 0.0
+            ]
+            slots: dict[int, dict] = {}
+            for k, load in enumerate(request.loads):
+                if load <= 0.0:
+                    slots[k] = infeasible_entry(
+                        load, ConfigurationError("load must be positive")
+                    )
+            on_sets = self.optimizer.index.query_many(
+                [load for _, load in valid], skip_infeasible=True
+            )
+            for (k, load), chosen in zip(valid, on_sets):
+                if load in shared:
+                    slots[k] = shared[load]
+                    continue
+                if chosen is None:
+                    entry = infeasible_entry(
+                        load,
+                        InfeasibleError(f"no subset can serve {load:.3f}"),
+                    )
+                else:
+                    try:
+                        entry = feasible_entry(
+                            load, solve_closed_form(model, chosen, load)
+                        )
+                    except ReproError as exc:
+                        entry = infeasible_entry(load, exc)
+                shared[load] = entry
+                slots[k] = entry
+            entries = [slots[k] for k in range(len(request.loads))]
+        else:
+            for load in request.loads:
+                try:
+                    result = self.optimizer.solve(load)
+                    entries.append(feasible_entry(load, result.solution))
+                except ReproError as exc:
+                    entries.append(infeasible_entry(load, exc))
+        return {"count": len(entries), "entries": entries}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """JSON-safe metrics snapshot (the ``stats`` op's result)."""
+        batcher = self._batcher
+        latency = {}
+        for op, hist in self.latency.items():
+            if hist.count:
+                latency[op] = {
+                    "count": hist.count,
+                    "mean_ms": hist.mean * 1e3,
+                    "p50_ms": hist.percentile(50.0) * 1e3,
+                    "p99_ms": hist.percentile(99.0) * 1e3,
+                }
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "batching": self.config.batching,
+            "batch_window_seconds": self.config.batch_window,
+            "max_batch": self.config.max_batch,
+            "draining": self._draining,
+            "uptime_seconds": (
+                time.monotonic() - self._started_at if self._started else 0.0
+            ),
+            "machines": self.optimizer.model.node_count,
+            "index_statuses": self.index_statuses,
+            "requests": dict(self.requests),
+            "errors": dict(self.errors),
+            "invalid_requests": self.invalid_requests,
+            "inflight": self._inflight,
+            "queue_depth": batcher.depth,
+            "batches": batcher.batches,
+            "mean_batch_size": batcher.mean_batch_size,
+            "max_batch_size": max(batcher.batch_sizes, default=0),
+            "batch_size_histogram": {
+                str(size): count
+                for size, count in sorted(batcher.batch_sizes.items())
+            },
+            "coalesced": self.coalesced,
+            "latency": latency,
+            "watchdog": {
+                "stalls": self.stalls,
+                "max_loop_lag_seconds": round(self.max_loop_lag, 6),
+                "interval_seconds": self.config.watchdog_interval,
+            },
+        }
+
+
+@contextlib.contextmanager
+def background_server(
+    optimizer: JointOptimizer,
+    config: Optional[ServingConfig] = None,
+    start_timeout: float = 120.0,
+):
+    """Run an :class:`AllocationServer` on a daemon thread.
+
+    The docs-and-tests convenience: starts the server's own event loop
+    on a background thread, yields the started server (``.address``
+    holds the bound transport), and drains it on exit — so examples and
+    tests can talk to a real socket without managing asyncio.
+    """
+    server = AllocationServer(optimizer, config)
+    ready = threading.Event()
+    state: dict = {}
+
+    async def _main() -> None:
+        try:
+            await server.start()
+        except BaseException as exc:  # noqa: BLE001 — surfaced to caller
+            state["error"] = exc
+            ready.set()
+            return
+        state["loop"] = asyncio.get_running_loop()
+        ready.set()
+        await server._drained_event.wait()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(_main()),
+        name="repro-serve-loop",
+        daemon=True,
+    )
+    thread.start()
+    if not ready.wait(start_timeout):
+        raise ConfigurationError(
+            f"serving daemon did not start within {start_timeout}s"
+        )
+    if "error" in state:
+        raise state["error"]
+    try:
+        yield server
+    finally:
+        future = asyncio.run_coroutine_threadsafe(
+            server.drain(), state["loop"]
+        )
+        with contextlib.suppress(Exception):
+            future.result(timeout=server.config.drain_grace + 30.0)
+        thread.join(timeout=30.0)

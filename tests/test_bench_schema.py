@@ -298,3 +298,133 @@ def test_validator_rejects_inconsistent_stage_stats():
     }
     with pytest.raises(ConfigurationError):
         obs.validate_bench_observability(bad)
+
+
+def _serving_entry(**overrides):
+    entry = {
+        "clients": 1000, "batching": True, "batch_window_seconds": 0.005,
+        "max_batch": 512, "requests": 1000, "errors": 0,
+        "duration_seconds": 0.05, "requests_per_second": 20000.0,
+        "latency_mean_ms": 30.0, "latency_p50_ms": 28.0,
+        "latency_p99_ms": 45.0, "batches": 2, "mean_batch_size": 500.0,
+        "max_batch_size": 512, "coalesced": 900,
+        "identical_answers": True,
+        "batch_size_histogram": {"488": 1, "512": 1},
+    }
+    entry.update(overrides)
+    return entry
+
+
+def _serving_document(**entry_overrides):
+    batched = _serving_entry(**entry_overrides)
+    unbatched = _serving_entry(
+        batching=False, latency_p50_ms=200.0, latency_p99_ms=400.0,
+        batches=1000, mean_batch_size=1.0, max_batch_size=1,
+        coalesced=0, batch_size_histogram={"1": 1000},
+    )
+    return {
+        "schema": obs.SCHEMA_VERSION,
+        "kind": "serving",
+        "seed": 2012,
+        "machines": 500,
+        "index_statuses": 806500,
+        "levels": 48,
+        "warm_start_seconds": 0.2,
+        "entries": [batched, unbatched],
+    }
+
+
+class TestServingSchema:
+    def test_fresh_document_validates(self):
+        obs.validate_serving(_serving_document())
+
+    def test_existing_serving_artifact_validates(self):
+        path = RESULTS_DIR / "serving.json"
+        if not path.exists():
+            pytest.skip("no serving artifact present")
+        obs.validate_serving(json.loads(path.read_text()))
+
+    def test_write_serving_round_trips(self, tmp_path):
+        document = _serving_document()
+        path = obs.write_serving(tmp_path / "serving.json", document)
+        assert json.loads(path.read_text()) == document
+
+    def test_write_serving_refuses_invalid_documents(self, tmp_path):
+        document = _serving_document()
+        document["kind"] = "wrong"
+        with pytest.raises(ConfigurationError):
+            obs.write_serving(tmp_path / "serving.json", document)
+        assert not (tmp_path / "serving.json").exists()
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            {"schema": 99},
+            {"kind": "consolidation-scale"},
+            {"seed": "2012"},
+            {"machines": 0},
+            {"index_statuses": -1},
+            {"levels": 0},
+            {"warm_start_seconds": -0.1},
+            {"entries": []},
+            {"entries": ["not a map"]},
+        ],
+        ids=["schema", "kind", "seed", "machines", "statuses", "levels",
+             "warm-start", "empty-entries", "entry-type"],
+    )
+    def test_rejects_malformed_documents(self, mutate):
+        document = _serving_document()
+        document.update(mutate)
+        with pytest.raises(ConfigurationError):
+            obs.validate_serving(document)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"clients": 0},
+            {"requests": -1},
+            {"errors": -1},
+            {"duration_seconds": 0.0},
+            {"requests_per_second": "fast"},
+            {"latency_p99_ms": 0.0},
+            {"mean_batch_size": 0.5},
+            {"batching": "yes"},
+            {"identical_answers": False},
+            {"identical_answers": None},
+            # p50 must not exceed p99
+            {"latency_p50_ms": 50.0, "latency_p99_ms": 45.0},
+            # histogram must be present, well-typed, and account for
+            # every request
+            {"batch_size_histogram": {}},
+            {"batch_size_histogram": {"488": 1}},
+            {"batch_size_histogram": {"-5": 1, "1005": 1}},
+            {"batch_size_histogram": {"488": 1, "512": "one"}},
+        ],
+        ids=["clients", "requests", "errors", "duration", "rps-type",
+             "p99-zero", "mean-batch", "batching-type",
+             "identical-false", "identical-null", "p50-above-p99",
+             "histogram-empty", "histogram-underaccounts",
+             "histogram-bad-key", "histogram-bad-count"],
+    )
+    def test_rejects_malformed_entries(self, overrides):
+        with pytest.raises(ConfigurationError):
+            obs.validate_serving(_serving_document(**overrides))
+
+    def test_rejects_missing_entry_keys(self):
+        document = _serving_document()
+        del document["entries"][0]["coalesced"]
+        with pytest.raises(ConfigurationError, match="missing"):
+            obs.validate_serving(document)
+
+    def test_rejects_unpaired_client_counts(self):
+        # Every client count must appear exactly twice: batching on+off.
+        document = _serving_document()
+        del document["entries"][1]  # drop the unbatched half
+        with pytest.raises(ConfigurationError):
+            obs.validate_serving(document)
+        both_batched = _serving_document()
+        both_batched["entries"][1] = dict(
+            both_batched["entries"][0]
+        )
+        with pytest.raises(ConfigurationError):
+            obs.validate_serving(both_batched)
