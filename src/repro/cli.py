@@ -20,6 +20,12 @@ Usage::
     repro faults --quick --seed 7   # two-scenario smoke campaign
     repro serve --socket repro.sock # allocation daemon on a unix socket
     repro serve --port 7077 --model model.json  # ... over TCP, saved model
+    repro serve --socket repro.sock --trace-path traces/serve.jsonl \\
+        --slo-p99-ms 50   # ... with span export and a latency SLO
+    repro top --socket repro.sock   # live windowed view of a daemon
+    repro top --socket repro.sock --iterations 1   # one frame (CI smoke)
+    repro bench-check               # gate results/ against baselines/
+    repro bench-check --update      # snapshot results/ as new baselines
 
 Heavy contexts (profiling campaigns) are cached per process, so ``repro
 all`` profiles the testbed once.
@@ -81,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help="figure id (fig1..fig10, headline, algorithms), 'all', "
         "'list', 'profile', 'solve', 'index', 'metrics', 'trace', "
-        "'dashboard', 'faults', or 'serve'",
+        "'dashboard', 'faults', 'serve', 'top', or 'bench-check'",
     )
     parser.add_argument(
         "--seed",
@@ -219,6 +225,79 @@ def build_parser() -> argparse.ArgumentParser:
         "(the benchmark baseline; serve target only)",
     )
     parser.add_argument(
+        "--trace-path",
+        default=None,
+        help="export serving request/batch spans to this rotating JSONL "
+        "file (serve target only; see docs/observability.md)",
+    )
+    parser.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        help="latency SLO: windowed p99 must stay below this many "
+        "milliseconds (serve target only)",
+    )
+    parser.add_argument(
+        "--slo-queue-depth",
+        type=int,
+        default=None,
+        help="queue-depth SLO: peak batcher depth over the SLO horizon "
+        "must stay at or below this (serve target only)",
+    )
+    parser.add_argument(
+        "--slo-error-rate",
+        type=float,
+        default=None,
+        help="error-rate SLO: windowed errors/requests must stay at or "
+        "below this fraction (serve target only)",
+    )
+    parser.add_argument(
+        "--slo-max-loop-lag",
+        type=float,
+        default=None,
+        help="event-loop stall SLO: peak watchdog tick lag in seconds "
+        "(serve target only)",
+    )
+    parser.add_argument(
+        "--slo-policy",
+        choices=("warn", "raise"),
+        default="warn",
+        help="SLO violation policy: 'warn' records violations and keeps "
+        "serving, 'raise' marks the daemon failed after the first "
+        "(serve target only)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (top target only)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="render this many frames then exit instead of looping "
+        "forever (top target only)",
+    )
+    parser.add_argument(
+        "--results",
+        default="benchmarks/results",
+        help="directory of fresh benchmark artifacts to gate "
+        "(bench-check target only)",
+    )
+    parser.add_argument(
+        "--baselines",
+        default="benchmarks/baselines",
+        help="directory of committed baseline artifacts "
+        "(bench-check target only)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="snapshot the results directory as the new baselines "
+        "instead of gating (bench-check target only)",
+    )
+    parser.add_argument(
         "--serving",
         default=None,
         help="serving benchmark document to render in the dashboard's "
@@ -297,8 +376,60 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.target == "list":
         for name in [*standalone, *contextual, "all", "profile", "solve",
                      "index", "report", "metrics", "trace", "dashboard",
-                     "faults", "serve"]:
+                     "faults", "serve", "top", "bench-check"]:
             print(name)
+        return 0
+
+    if args.target == "bench-check":
+        from repro.analysis.benchcheck import (
+            check_benchmarks,
+            render_report,
+            update_baselines,
+        )
+
+        if args.update:
+            copied = update_baselines(args.results, args.baselines)
+            for name in copied:
+                print(f"baseline updated: {args.baselines}/{name}")
+            return 0
+        report = check_benchmarks(args.results, args.baselines)
+        print(render_report(report), end="")
+        return 1 if report.regressed else 0
+
+    if args.target == "top":
+        import time
+
+        from repro.analysis.report import render_top
+        from repro.serving import ServingClient
+
+        if args.socket is None and args.port is None:
+            print(
+                "top requires --socket <path> or --port <n>",
+                file=sys.stderr,
+            )
+            return 2
+        frames = 0
+        try:
+            with ServingClient(
+                socket_path=args.socket,
+                host=None if args.socket else args.host,
+                port=None if args.socket else args.port,
+            ) as client:
+                while args.iterations is None or frames < args.iterations:
+                    telemetry = client.telemetry()
+                    stats = client.stats()
+                    if sys.stdout.isatty() and frames:
+                        # Repaint in place between frames.
+                        print("\x1b[2J\x1b[H", end="")
+                    print(render_top(telemetry, stats), flush=True)
+                    frames += 1
+                    if (
+                        args.iterations is None
+                        or frames < args.iterations
+                    ):
+                        time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
         return 0
 
     if args.target == "serve":
@@ -331,6 +462,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             batch_window=args.batch_window,
             max_batch=args.max_batch,
             batching=not args.no_batching,
+            trace_path=args.trace_path,
+            slo_p99_ms=args.slo_p99_ms,
+            slo_queue_depth=args.slo_queue_depth,
+            slo_error_rate=args.slo_error_rate,
+            slo_max_loop_lag=args.slo_max_loop_lag,
+            slo_policy=args.slo_policy,
         )
         server = AllocationServer(optimizer, config)
 
@@ -344,6 +481,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"warm index ready: {server.index_statuses} statuses over "
                 f"{model.node_count} machines (batching {mode})"
             )
+            if args.trace_path:
+                print(f"exporting serving spans to {args.trace_path}")
             if server.address[0] == "unix":
                 print(f"serving on unix socket {server.address[1]}",
                       flush=True)

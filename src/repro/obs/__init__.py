@@ -28,8 +28,10 @@ schemas, the exporter formats, and overhead expectations.
 from repro.obs import trace, watchdog
 from repro.obs.export import (
     bench_observability,
+    render_prometheus,
     validate_bench_observability,
     validate_consolidation_scale,
+    validate_prometheus,
     validate_resilience,
     validate_serving,
     validate_simulation_speed,
@@ -38,12 +40,16 @@ from repro.obs.export import (
     write_serving,
 )
 from repro.obs.metrics import (
+    DEFAULT_HORIZONS,
     MAX_HISTOGRAM_SAMPLES,
+    MAX_WINDOW_BUCKET_SAMPLES,
     SCHEMA_VERSION,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    SlidingHistogram,
+    WindowedCounter,
 )
 from repro.obs.records import (
     RunRecord,
@@ -66,6 +72,7 @@ from repro.obs.runtime import (
 )
 from repro.obs.trace import (
     TRACE_SCHEMA_VERSION,
+    RotatingTraceExporter,
     TraceBuffer,
     TraceEvent,
     TraceSpan,
@@ -73,6 +80,7 @@ from repro.obs.trace import (
     disable_tracing,
     enable_tracing,
     get_trace_buffer,
+    read_rotated_trace,
     reset_trace,
     set_span_attributes,
     suspended_tracing,
@@ -80,13 +88,18 @@ from repro.obs.trace import (
 )
 from repro.obs.watchdog import (
     EnergyBalanceMonitor,
+    ErrorRateMonitor,
     KKTOptimalityMonitor,
+    LatencyBurnRateMonitor,
+    LoopStallMonitor,
     Monitor,
+    QueueDepthMonitor,
     Reading,
     ThermalHeadroomMonitor,
     ThroughputMonitor,
     Violation,
     WatchdogSet,
+    serving_monitors,
 )
 
 __all__ = [
@@ -105,7 +118,11 @@ __all__ = [
     "set_gauge",
     "observe",
     "MAX_HISTOGRAM_SAMPLES",
+    "MAX_WINDOW_BUCKET_SAMPLES",
+    "DEFAULT_HORIZONS",
     "SCHEMA_VERSION",
+    "SlidingHistogram",
+    "WindowedCounter",
     # timers
     "timed",
     # run records
@@ -125,6 +142,8 @@ __all__ = [
     "validate_simulation_speed",
     "write_resilience",
     "write_serving",
+    "render_prometheus",
+    "validate_prometheus",
     # tracing
     "trace",
     "TRACE_SCHEMA_VERSION",
@@ -139,6 +158,8 @@ __all__ = [
     "reset_trace",
     "add_event",
     "set_span_attributes",
+    "RotatingTraceExporter",
+    "read_rotated_trace",
     # watchdogs
     "watchdog",
     "WatchdogSet",
@@ -149,4 +170,9 @@ __all__ = [
     "ThroughputMonitor",
     "EnergyBalanceMonitor",
     "KKTOptimalityMonitor",
+    "LatencyBurnRateMonitor",
+    "QueueDepthMonitor",
+    "ErrorRateMonitor",
+    "LoopStallMonitor",
+    "serving_monitors",
 ]

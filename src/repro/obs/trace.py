@@ -33,10 +33,11 @@ Two interchange formats are supported, both lossless:
 from __future__ import annotations
 
 import json
+import pathlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Mapping, Optional
+from typing import Iterable, Mapping, Optional, Union
 
 from repro.errors import ConfigurationError
 
@@ -413,6 +414,126 @@ class TraceBuffer:
         if buffer.spans:
             buffer._next_id = max(s.span_id for s in buffer.spans) + 1
         return buffer
+
+
+# ---------------------------------------------------------------------- #
+# Rotating on-disk JSONL export
+# ---------------------------------------------------------------------- #
+
+
+class RotatingTraceExporter:
+    """Append-only on-disk JSONL trace sink with size-based rotation.
+
+    Long-running processes (the serving daemon) cannot hold every span
+    in memory, so they flush closed spans/events here in batches.  The
+    active file is ``path``; when it reaches ``max_bytes`` the *next*
+    batch triggers a rotation — ``path`` becomes ``path.1``, ``path.1``
+    becomes ``path.2``, and so on, with at most ``keep_files`` rotated
+    files retained.  Two invariants make rotation lossless:
+
+    - rotation only ever happens **between** write batches, never in the
+      middle of one, so a record is never split across files;
+    - every file begins with its own JSONL header line, so each rotated
+      file independently round-trips through
+      :meth:`TraceBuffer.from_jsonl` (and :func:`read_rotated_trace`
+      merges the whole set back into one buffer).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        max_bytes: int = 1_000_000,
+        keep_files: int = 3,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ConfigurationError("max_bytes must be positive")
+        if keep_files < 1:
+            raise ConfigurationError("keep_files must be at least 1")
+        self.path = pathlib.Path(path)
+        self.max_bytes = max_bytes
+        self.keep_files = keep_files
+        self.rotations = 0
+
+    def files(self) -> list[pathlib.Path]:
+        """Every existing file of the set, oldest first."""
+        rotated = []
+        for i in range(self.keep_files, 0, -1):
+            candidate = self.path.with_name(f"{self.path.name}.{i}")
+            if candidate.exists():
+                rotated.append(candidate)
+        if self.path.exists():
+            rotated.append(self.path)
+        return rotated
+
+    def _rotate(self) -> None:
+        oldest = self.path.with_name(f"{self.path.name}.{self.keep_files}")
+        if oldest.exists():
+            oldest.unlink()
+        for i in range(self.keep_files - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{i}")
+            if src.exists():
+                src.rename(self.path.with_name(f"{self.path.name}.{i + 1}"))
+        if self.path.exists():
+            self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        self.rotations += 1
+
+    def write(
+        self,
+        spans: Iterable[TraceSpan] = (),
+        events: Iterable[TraceEvent] = (),
+    ) -> pathlib.Path:
+        """Append one batch of records; returns the file written to."""
+        lines = [json.dumps(s.to_dict()) for s in spans]
+        lines.extend(json.dumps(e.to_dict()) for e in events)
+        if not lines:
+            return self.path
+        if (
+            self.path.exists()
+            and self.path.stat().st_size >= self.max_bytes
+        ):
+            self._rotate()
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            header = {
+                "kind": _JSONL_HEADER_KIND,
+                "schema": TRACE_SCHEMA_VERSION,
+                "dropped_spans": 0,
+                "dropped_events": 0,
+            }
+            lines.insert(0, json.dumps(header))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        return self.path
+
+    def export_buffer(self, buffer: TraceBuffer) -> pathlib.Path:
+        """Write every record of ``buffer`` as one batch."""
+        return self.write(buffer.spans, buffer.events)
+
+
+def read_rotated_trace(
+    path: Union[str, pathlib.Path], keep_files: int = 16
+) -> TraceBuffer:
+    """Merge a :class:`RotatingTraceExporter` file set into one buffer.
+
+    Reads ``path`` plus every ``path.N`` rotation (oldest first, so the
+    merged record order matches write order) and returns a single
+    :class:`TraceBuffer`.  Raises :class:`ConfigurationError` when no
+    file of the set exists or any file fails the trace-schema check.
+    """
+    exporter = RotatingTraceExporter(path, keep_files=keep_files)
+    files = exporter.files()
+    if not files:
+        raise ConfigurationError(f"no trace files at {path}")
+    merged = TraceBuffer()
+    for file in files:
+        piece = TraceBuffer.from_jsonl(file.read_text())
+        merged.spans.extend(piece.spans)
+        merged.events.extend(piece.events)
+        merged.dropped_spans += piece.dropped_spans
+        merged.dropped_events += piece.dropped_events
+    if merged.spans:
+        merged._next_id = max(s.span_id for s in merged.spans) + 1
+    return merged
 
 
 # ---------------------------------------------------------------------- #

@@ -101,6 +101,17 @@ class Monitor:
         """Invariants of one accepted controller replan."""
         return []
 
+    def serving_readings(self, telemetry) -> list[Reading]:
+        """SLO invariants of a live serving daemon.
+
+        ``telemetry`` is duck-typed (the serving monitors below read
+        :class:`repro.serving.telemetry.ServingTelemetry`): windowed
+        request/error counts, windowed latency percentiles, queue depth,
+        and loop lag.  Keeping the hook duck-typed keeps ``repro.obs``
+        free of serving imports.
+        """
+        return []
+
 
 class ThermalHeadroomMonitor(Monitor):
     """``T_cpu <= T_max`` headroom, on predictions and simulated state."""
@@ -347,6 +358,193 @@ def default_monitors() -> list[Monitor]:
     ]
 
 
+# ---------------------------------------------------------------------- #
+# Serving SLO monitors
+# ---------------------------------------------------------------------- #
+
+
+class LatencyBurnRateMonitor(Monitor):
+    """Windowed p99 latency against a target p99 (the serving SLO).
+
+    The headroom is the *burn fraction* — ``(target - p99) / target`` —
+    so 0.0 means the window's p99 sits exactly at the target, negative
+    means the budget is burning.  Quiet windows (no requests) produce no
+    reading: an idle daemon is not violating its latency SLO.
+    """
+
+    name = "slo.latency"
+
+    def __init__(self, target_p99_ms: float, horizon: float = 60.0) -> None:
+        if target_p99_ms <= 0.0:
+            raise ConfigurationError(
+                f"target_p99_ms must be positive, got {target_p99_ms}"
+            )
+        if horizon <= 0.0:
+            raise ConfigurationError(
+                f"horizon must be positive, got {horizon}"
+            )
+        self.target_p99_ms = target_p99_ms
+        self.horizon = horizon
+
+    def serving_readings(self, telemetry) -> list[Reading]:
+        if telemetry.request_count(self.horizon) == 0:
+            return []
+        p99 = telemetry.latency_p99_ms(self.horizon)
+        return [
+            Reading(
+                monitor=self.name,
+                metric="serving.latency_burn",
+                headroom=(self.target_p99_ms - p99) / self.target_p99_ms,
+                message=(
+                    f"serving p99 latency {p99:.1f} ms over the last "
+                    f"{self.horizon:g} s exceeds the {self.target_p99_ms:.1f}"
+                    " ms SLO target"
+                ),
+                context={"p99_ms": p99, "target_p99_ms": self.target_p99_ms,
+                         "horizon": self.horizon},
+            )
+        ]
+
+
+class QueueDepthMonitor(Monitor):
+    """Bounded request-queue depth (a leading indicator of overload)."""
+
+    name = "slo.queue"
+
+    def __init__(self, max_depth: int, horizon: float = 10.0) -> None:
+        if max_depth < 1:
+            raise ConfigurationError(
+                f"max_depth must be at least 1, got {max_depth}"
+            )
+        if horizon <= 0.0:
+            raise ConfigurationError(
+                f"horizon must be positive, got {horizon}"
+            )
+        self.max_depth = max_depth
+        self.horizon = horizon
+
+    def serving_readings(self, telemetry) -> list[Reading]:
+        depth = telemetry.max_queue_depth(self.horizon)
+        return [
+            Reading(
+                monitor=self.name,
+                metric="serving.queue_headroom",
+                headroom=(self.max_depth - depth) / self.max_depth,
+                message=(
+                    f"serving queue depth peaked at {depth:.0f} over the "
+                    f"last {self.horizon:g} s, beyond the {self.max_depth} "
+                    "limit"
+                ),
+                context={"max_observed": depth, "limit": self.max_depth,
+                         "horizon": self.horizon},
+            )
+        ]
+
+
+class ErrorRateMonitor(Monitor):
+    """Windowed error fraction (errors / requests) against a budget."""
+
+    name = "slo.errors"
+
+    def __init__(self, max_rate: float = 0.01, horizon: float = 60.0) -> None:
+        if not 0.0 < max_rate <= 1.0:
+            raise ConfigurationError(
+                f"max_rate must be in (0, 1], got {max_rate}"
+            )
+        if horizon <= 0.0:
+            raise ConfigurationError(
+                f"horizon must be positive, got {horizon}"
+            )
+        self.max_rate = max_rate
+        self.horizon = horizon
+
+    def serving_readings(self, telemetry) -> list[Reading]:
+        requests = telemetry.request_count(self.horizon)
+        if requests == 0:
+            return []
+        rate = telemetry.error_count(self.horizon) / requests
+        return [
+            Reading(
+                monitor=self.name,
+                metric="serving.error_rate",
+                headroom=self.max_rate - rate,
+                message=(
+                    f"serving error rate {rate:.4f} over the last "
+                    f"{self.horizon:g} s exceeds the {self.max_rate:.4f} "
+                    "budget"
+                ),
+                context={"error_rate": rate, "budget": self.max_rate,
+                         "requests": requests, "horizon": self.horizon},
+            )
+        ]
+
+
+class LoopStallMonitor(Monitor):
+    """Event-loop responsiveness: worst watchdog-tick lag in the window."""
+
+    name = "slo.stall"
+
+    def __init__(
+        self, max_lag_seconds: float, horizon: float = 60.0
+    ) -> None:
+        if max_lag_seconds <= 0.0:
+            raise ConfigurationError(
+                f"max_lag_seconds must be positive, got {max_lag_seconds}"
+            )
+        if horizon <= 0.0:
+            raise ConfigurationError(
+                f"horizon must be positive, got {horizon}"
+            )
+        self.max_lag_seconds = max_lag_seconds
+        self.horizon = horizon
+
+    def serving_readings(self, telemetry) -> list[Reading]:
+        lag = telemetry.max_loop_lag_seconds(self.horizon)
+        return [
+            Reading(
+                monitor=self.name,
+                metric="serving.loop_lag_headroom",
+                headroom=(
+                    (self.max_lag_seconds - lag) / self.max_lag_seconds
+                ),
+                message=(
+                    f"serving event loop lagged {lag * 1e3:.1f} ms over "
+                    f"the last {self.horizon:g} s, beyond the "
+                    f"{self.max_lag_seconds * 1e3:.1f} ms stall budget"
+                ),
+                context={"max_lag_seconds": lag,
+                         "budget_seconds": self.max_lag_seconds,
+                         "horizon": self.horizon},
+            )
+        ]
+
+
+def serving_monitors(
+    target_p99_ms: Optional[float] = None,
+    max_queue_depth: Optional[int] = None,
+    max_error_rate: Optional[float] = None,
+    max_loop_lag_seconds: Optional[float] = None,
+    horizon: float = 60.0,
+) -> list[Monitor]:
+    """Build the serving-SLO monitor set from configured thresholds.
+
+    Only thresholds actually given become monitors, so an unconfigured
+    daemon runs with no SLO checks at all (and no spurious warnings).
+    """
+    monitors: list[Monitor] = []
+    if target_p99_ms is not None:
+        monitors.append(LatencyBurnRateMonitor(target_p99_ms, horizon))
+    if max_queue_depth is not None:
+        monitors.append(QueueDepthMonitor(max_queue_depth, horizon=horizon))
+    if max_error_rate is not None:
+        monitors.append(ErrorRateMonitor(max_error_rate, horizon=horizon))
+    if max_loop_lag_seconds is not None:
+        monitors.append(
+            LoopStallMonitor(max_loop_lag_seconds, horizon=horizon)
+        )
+    return monitors
+
+
 class WatchdogSet:
     """A pluggable set of monitors plus the violation-handling policy.
 
@@ -415,6 +613,18 @@ class WatchdogSet:
             readings.extend(
                 monitor.replan_readings(controller, result, offered_load)
             )
+        return self._ingest(readings)
+
+    def check_serving(self, telemetry) -> list[Violation]:
+        """Evaluate every monitor against live serving telemetry.
+
+        Called from the daemon's watchdog loop; monitors without a
+        ``serving_readings`` implementation contribute nothing, so the
+        paper-invariant monitors and the SLO monitors can share one set.
+        """
+        readings: list[Reading] = []
+        for monitor in self.monitors:
+            readings.extend(monitor.serving_readings(telemetry))
         return self._ingest(readings)
 
     def notify_infeasible(self, message: str, **context) -> Violation:

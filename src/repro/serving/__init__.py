@@ -16,6 +16,9 @@ Layers (see ``docs/serving.md`` for the architecture walkthrough):
   concurrent requests within a small window.
 - :mod:`repro.serving.server` — :class:`AllocationServer`: warm start,
   transports, watchdog, latency histograms, graceful drain.
+- :mod:`repro.serving.telemetry` — :class:`ServingTelemetry`: the
+  windowed metrics + per-request span store behind the ``telemetry``
+  and ``trace`` ops and the SLO watchdogs.
 - :mod:`repro.serving.client` — a blocking JSON-lines client that
   re-raises remote errors as local :mod:`repro.errors` exceptions.
 - :mod:`repro.serving.loadgen` — the in-process concurrent-client
@@ -29,6 +32,7 @@ from repro.serving.protocol import (
     MAX_LINE_BYTES,
     OPS,
     PROTOCOL_VERSION,
+    TELEMETRY_FORMATS,
     Request,
     decode_request,
     encode,
@@ -42,11 +46,13 @@ from repro.serving.server import (
     ServingConfig,
     background_server,
 )
+from repro.serving.telemetry import ServingTelemetry
 
 __all__ = [
     "PROTOCOL_VERSION",
     "OPS",
     "MAX_LINE_BYTES",
+    "TELEMETRY_FORMATS",
     "Request",
     "parse_request",
     "decode_request",
@@ -57,6 +63,7 @@ __all__ = [
     "MicroBatcher",
     "AllocationServer",
     "ServingConfig",
+    "ServingTelemetry",
     "background_server",
     "ServingClient",
     "LoadgenReport",

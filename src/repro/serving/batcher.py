@@ -57,6 +57,10 @@ class MicroBatcher:
         Hard cap on requests per dispatch.
     batching:
         ``False`` forces singleton dispatches (the benchmark baseline).
+    on_batch:
+        Optional callback invoked with each dispatched batch's size —
+        the hook the server uses to feed its windowed batch-size
+        telemetry without the batcher importing the telemetry layer.
     """
 
     def __init__(
@@ -65,6 +69,7 @@ class MicroBatcher:
         batch_window: float = 0.005,
         max_batch: int = 256,
         batching: bool = True,
+        on_batch: Optional[Callable[[int], None]] = None,
     ) -> None:
         if batch_window < 0.0:
             raise ConfigurationError(
@@ -78,6 +83,7 @@ class MicroBatcher:
         self.batch_window = float(batch_window)
         self.max_batch = int(max_batch)
         self.batching = bool(batching)
+        self.on_batch = on_batch
         self._queue: Optional[asyncio.Queue] = None
         self._worker: Optional[asyncio.Task] = None
         self._draining = False
@@ -204,6 +210,8 @@ class MicroBatcher:
                 self.batch_sizes.get(len(items), 0) + 1
             )
             obs.observe("serving.batch_size", len(items))
+            if self.on_batch is not None:
+                self.on_batch(len(items))
             requests = [request for request, _ in items]
             try:
                 outcomes = await self._dispatch(requests)

@@ -135,3 +135,11 @@ class ServingClient:
 
     def stats(self) -> dict:
         return self.call("stats")
+
+    def telemetry(self, format: Optional[str] = None) -> dict:
+        """The windowed live view (``format="prometheus"`` for text)."""
+        return self.call("telemetry", format=format)
+
+    def trace(self, limit: Optional[int] = None) -> dict:
+        """The most recent request/batch span chains (trace JSONL)."""
+        return self.call("trace", limit=limit)

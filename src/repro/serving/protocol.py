@@ -30,6 +30,22 @@ and introspection:
     Liveness and the server's metrics snapshot (request counts, latency
     percentiles, batch-size distribution, watchdog stalls).
 
+``telemetry``
+    The live windowed view: per-horizon request rates, latency
+    percentiles, queue depth, batch sizes, and SLO headroom — as
+    structured JSON (default) or, with ``{"format": "prometheus"}``, as
+    Prometheus text exposition ready for a scraper.
+
+``trace``
+    The most recent per-request span chains (request → batch →
+    ``query_many``) as a self-contained trace-JSONL document; optional
+    ``limit`` caps the span count.
+
+Every parsed request is also stamped with a process-unique ``trace_id``
+(not part of the wire format) that rides through the
+:class:`~repro.serving.batcher.MicroBatcher` into the compute thread,
+letting the server link each batch span to the request spans it served.
+
 Responses are ``{"id": ..., "ok": true, "result": {...}}`` on success.
 Failures are *structured*, reusing the :mod:`repro.errors` hierarchy:
 ``{"id": ..., "ok": false, "error": {"type": "InfeasibleError",
@@ -42,6 +58,7 @@ response with ``id: null`` when no id could be recovered.
 
 from __future__ import annotations
 
+import itertools
 import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
@@ -49,20 +66,33 @@ from typing import Any, Mapping, Optional
 from repro import errors
 from repro.errors import ConfigurationError, ReproError
 
-#: Protocol schema stamp, echoed by ``ping`` and ``stats``.
-PROTOCOL_VERSION = 1
+#: Protocol schema stamp, echoed by ``ping`` and ``stats``.  Version 2
+#: added the ``telemetry`` and ``trace`` ops (version 1 responses are a
+#: strict subset, so v1 clients keep working).
+PROTOCOL_VERSION = 2
 
 #: Operations the daemon answers.
-OPS = ("allocate", "maxL", "what-if", "ping", "stats")
+OPS = ("allocate", "maxL", "what-if", "ping", "stats", "telemetry", "trace")
+
+#: ``telemetry`` output formats.
+TELEMETRY_FORMATS = ("json", "prometheus")
 
 #: Longest accepted request line, bytes (guards the stream reader
 #: against unbounded buffering; a 10k-point what-if horizon fits).
 MAX_LINE_BYTES = 1_000_000
 
+#: Process-wide trace-id source; every parsed request gets the next one.
+_TRACE_IDS = itertools.count(1)
+
 
 @dataclass(frozen=True)
 class Request:
-    """One decoded, validated request."""
+    """One decoded, validated request.
+
+    ``trace_id`` is server-side bookkeeping, not wire data: assigned at
+    parse time, excluded from equality, and used to link the request's
+    trace span to the batch span that eventually serves it.
+    """
 
     op: str
     id: Optional[Any] = None
@@ -71,6 +101,9 @@ class Request:
     loads: Optional[tuple[float, ...]] = None
     on_ids: Optional[tuple[int, ...]] = None
     exclude: tuple[int, ...] = field(default=())
+    limit: Optional[int] = None
+    format: Optional[str] = None
+    trace_id: Optional[int] = field(default=None, compare=False)
 
 
 def _number(payload: Mapping, key: str, *, required: bool) -> Optional[float]:
@@ -117,6 +150,8 @@ def parse_request(payload: Any) -> Request:
     request_id = payload.get("id")
     load = budget = None
     loads = on_ids = None
+    limit: Optional[int] = None
+    fmt: Optional[str] = None
     if op == "allocate":
         load = _number(payload, "load", required=True)
     elif op == "maxL":
@@ -132,12 +167,30 @@ def parse_request(payload: Any) -> Request:
             )
         loads = tuple(float(v) for v in raw)
         on_ids = _id_list(payload, "on_ids")
+    elif op == "telemetry":
+        fmt = payload.get("format")
+        if fmt is not None and fmt not in TELEMETRY_FORMATS:
+            raise ConfigurationError(
+                f"'format' must be one of {list(TELEMETRY_FORMATS)}, "
+                f"got {fmt!r}"
+            )
+    elif op == "trace":
+        raw_limit = payload.get("limit")
+        if raw_limit is not None:
+            if isinstance(raw_limit, bool) or not isinstance(
+                raw_limit, int
+            ) or raw_limit < 1:
+                raise ConfigurationError(
+                    f"'limit' must be a positive int, got {raw_limit!r}"
+                )
+            limit = raw_limit
     exclude = _id_list(payload, "exclude") or ()
     if exclude and op not in ("allocate",):
         raise ConfigurationError("'exclude' is only valid for 'allocate'")
     return Request(
         op=op, id=request_id, load=load, budget=budget,
         loads=loads, on_ids=on_ids, exclude=exclude,
+        limit=limit, format=fmt, trace_id=next(_TRACE_IDS),
     )
 
 

@@ -47,11 +47,14 @@ from repro.core.closed_form import solve_closed_form
 from repro.core.optimizer import JointOptimizer
 from repro.errors import (
     ConfigurationError,
+    ConstraintViolationError,
     InfeasibleError,
     ReproError,
     ServingUnavailableError,
 )
-from repro.obs.metrics import Histogram
+from repro.obs.metrics import DEFAULT_HORIZONS, Histogram
+from repro.obs.trace import RotatingTraceExporter
+from repro.obs.watchdog import WatchdogSet, serving_monitors
 from repro.serving.batcher import MicroBatcher
 from repro.serving.protocol import (
     MAX_LINE_BYTES,
@@ -64,6 +67,7 @@ from repro.serving.protocol import (
     ok_response,
     parse_request,
 )
+from repro.serving.telemetry import ServingTelemetry
 
 
 def _recover_request_id(message: Any) -> Any:
@@ -102,6 +106,14 @@ class ServingConfig:
     request of a batch waits for concurrent company.  ``batching=False``
     keeps the identical queue/dispatch machinery but forces singleton
     batches — the benchmark baseline.
+
+    ``telemetry_window`` bounds the windowed metrics the ``telemetry``
+    op reports; ``trace_path`` turns on the rotating on-disk span
+    exporter.  The ``slo_*`` thresholds are each optional — only the
+    ones given become live SLO monitors (see
+    :func:`repro.obs.watchdog.serving_monitors`), evaluated every
+    watchdog tick over ``slo_horizon`` seconds with the usual
+    ``warn``/``raise`` policy.
     """
 
     socket_path: Optional[Union[str, pathlib.Path]] = None
@@ -113,6 +125,16 @@ class ServingConfig:
     drain_grace: float = 10.0
     watchdog_interval: float = 0.25
     stall_threshold: float = 0.25
+    telemetry_window: float = 300.0
+    trace_path: Optional[Union[str, pathlib.Path]] = None
+    trace_max_bytes: int = 1_000_000
+    trace_keep_files: int = 3
+    slo_p99_ms: Optional[float] = None
+    slo_queue_depth: Optional[int] = None
+    slo_error_rate: Optional[float] = None
+    slo_max_loop_lag: Optional[float] = None
+    slo_horizon: float = 60.0
+    slo_policy: str = "warn"
 
     def __post_init__(self) -> None:
         if self.socket_path is not None and self.port is not None:
@@ -135,6 +157,25 @@ class ServingConfig:
             raise ConfigurationError(
                 "watchdog_interval and stall_threshold must be positive"
             )
+        if self.telemetry_window <= 0.0:
+            raise ConfigurationError(
+                f"telemetry_window must be positive, "
+                f"got {self.telemetry_window}"
+            )
+        if self.trace_max_bytes < 1 or self.trace_keep_files < 1:
+            raise ConfigurationError(
+                "trace_max_bytes and trace_keep_files must be positive"
+            )
+        if not 0.0 < self.slo_horizon <= self.telemetry_window:
+            raise ConfigurationError(
+                f"slo_horizon must be in (0, telemetry_window="
+                f"{self.telemetry_window}], got {self.slo_horizon}"
+            )
+        if self.slo_policy not in ("warn", "raise"):
+            raise ConfigurationError(
+                f"unknown slo_policy {self.slo_policy!r} "
+                "(expected 'warn' or 'raise')"
+            )
 
 
 class AllocationServer:
@@ -147,11 +188,42 @@ class AllocationServer:
     ) -> None:
         self.optimizer = optimizer
         self.config = config or ServingConfig()
+        exporter = None
+        if self.config.trace_path is not None:
+            exporter = RotatingTraceExporter(
+                self.config.trace_path,
+                max_bytes=self.config.trace_max_bytes,
+                keep_files=self.config.trace_keep_files,
+            )
+        window = self.config.telemetry_window
+        horizons = tuple(
+            h for h in DEFAULT_HORIZONS if h <= window
+        ) or (window,)
+        #: The windowed metrics + span store behind ``telemetry``/``trace``.
+        self.telemetry = ServingTelemetry(
+            window=window, horizons=horizons, exporter=exporter
+        )
+        slo = serving_monitors(
+            target_p99_ms=self.config.slo_p99_ms,
+            max_queue_depth=self.config.slo_queue_depth,
+            max_error_rate=self.config.slo_error_rate,
+            max_loop_lag_seconds=self.config.slo_max_loop_lag,
+            horizon=self.config.slo_horizon,
+        )
+        #: SLO watchdog — built only when a threshold is configured, so
+        #: an unconfigured daemon runs zero checks (and zero warnings).
+        self._slo_watchdog: Optional[WatchdogSet] = (
+            WatchdogSet(slo, policy=self.config.slo_policy) if slo else None
+        )
+        #: Message of the violation that tripped a ``raise`` SLO policy
+        #: (the watchdog loop fail-stops its checks and surfaces it here).
+        self.slo_failure: Optional[str] = None
         self._batcher = MicroBatcher(
             self._dispatch,
             batch_window=self.config.batch_window,
             max_batch=self.config.max_batch,
             batching=self.config.batching,
+            on_batch=self.telemetry.observe_batch,
         )
         #: Per-op end-to-end latency (includes batching wait), seconds.
         self.latency: dict[str, Histogram] = {
@@ -164,6 +236,10 @@ class AllocationServer:
         self.stalls = 0
         self.max_loop_lag = 0.0
         self.index_statuses = 0
+        self.index_cache_key: Optional[str] = None
+        #: Open request spans by ``trace_id`` (loop thread writes,
+        #: compute thread annotates): ``{trace_id: (span, enqueued_at)}``.
+        self._trace_pending: dict[int, tuple] = {}
         #: ``("unix", path)`` or ``("tcp", host, port)`` once bound.
         self.address: Optional[tuple] = None
         self._inflight = 0
@@ -187,6 +263,7 @@ class AllocationServer:
         with obs.timed("serving/warm_start"):
             index = self.optimizer.index
         self.index_statuses = index.status_count
+        self.index_cache_key = getattr(index, "cache_key", None)
 
     async def start(self) -> None:
         """Warm the index, start the batcher/watchdog, bind transports."""
@@ -251,6 +328,9 @@ class AllocationServer:
             self._watchdog_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await self._watchdog_task
+        # Final span flush: anything closed since the last watchdog
+        # tick still reaches the rotating exporter before shutdown.
+        self.telemetry.flush()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
         for writer in list(self._writers):
@@ -278,9 +358,15 @@ class AllocationServer:
         try:
             await stop.wait()
         finally:
-            for sig in installed:
-                loop.remove_signal_handler(sig)
-            await self.drain()
+            # Keep the handlers installed until the drain finishes: a
+            # repeated SIGINT mid-drain (shells and process supervisors
+            # often signal the whole group) must not abort the graceful
+            # shutdown with a KeyboardInterrupt.
+            try:
+                await self.drain()
+            finally:
+                for sig in installed:
+                    loop.remove_signal_handler(sig)
 
     async def _watchdog_loop(self) -> None:
         """Self-check heartbeat: event-loop lag and queue depth.
@@ -289,6 +375,15 @@ class AllocationServer:
         the loop was blocked (a compute leak onto the loop thread, or a
         starved host) — counted as a stall and recorded as a trace
         event so post-mortems can line it up with the request timeline.
+
+        Each tick also feeds the windowed telemetry (queue depth, loop
+        lag), evaluates the configured SLO monitors, and flushes closed
+        spans to the rotating exporter — keeping every byte of disk I/O
+        and every SLO evaluation off the request path.  Under the
+        ``raise`` policy the first violation fail-stops further SLO
+        checks and is surfaced in ``stats()["slo"]["failure"]`` (the
+        daemon keeps serving; a background task has no caller to raise
+        into).
         """
         interval = self.config.watchdog_interval
         loop = asyncio.get_running_loop()
@@ -309,6 +404,29 @@ class AllocationServer:
                 )
             obs.set_gauge("serving.queue_depth", self._batcher.depth)
             obs.set_gauge("serving.inflight", self._inflight)
+            self.telemetry.observe_queue_depth(self._batcher.depth)
+            self.telemetry.observe_loop_lag(max(lag, 0.0))
+            self._check_slo()
+            self.telemetry.flush()
+
+    def _check_slo(self) -> None:
+        """One SLO evaluation pass (called from the watchdog tick)."""
+        if self._slo_watchdog is None or self.slo_failure is not None:
+            return
+        try:
+            violations = self._slo_watchdog.check_serving(self.telemetry)
+        except ConstraintViolationError as exc:
+            # raise policy: the violation is already recorded on the
+            # watchdog set; mirror it into telemetry and fail-stop.
+            if self._slo_watchdog.violations:
+                self.telemetry.record_violation(
+                    self._slo_watchdog.violations[-1]
+                )
+            self.slo_failure = str(exc)
+            obs.count("serving.slo_failures")
+            return
+        for violation in violations:
+            self.telemetry.record_violation(violation)
 
     # ------------------------------------------------------------------ #
     # Request handling
@@ -335,8 +453,12 @@ class AllocationServer:
             return error_response(_recover_request_id(message), exc)
         op = request.op
         self.requests[op] = self.requests.get(op, 0) + 1
+        span = None
+        ok = True
         try:
-            if self._draining and op not in ("ping", "stats"):
+            if self._draining and op not in (
+                "ping", "stats", "telemetry", "trace"
+            ):
                 raise ServingUnavailableError(
                     "server is draining; retry against a healthy replica"
                 )
@@ -349,18 +471,39 @@ class AllocationServer:
                     }
                 elif op == "stats":
                     result = self.stats()
+                elif op == "telemetry":
+                    result = self.telemetry_payload(request.format)
+                elif op == "trace":
+                    result = self.telemetry.trace_tail(request.limit)
                 else:
+                    if request.trace_id is not None:
+                        span = self.telemetry.start_span(
+                            "serving.request",
+                            op=op,
+                            trace_id=request.trace_id,
+                            request_id=request.id,
+                        )
+                        self._trace_pending[request.trace_id] = (
+                            span, time.perf_counter(),
+                        )
                     self._inflight += 1
                     try:
                         result = await self._batcher.submit(request)
                     finally:
                         self._inflight -= 1
+                        if request.trace_id is not None:
+                            self._trace_pending.pop(request.trace_id, None)
             response = ok_response(request.id, result)
         except ReproError as exc:
+            ok = False
             self.errors[op] = self.errors.get(op, 0) + 1
             obs.count("serving.errors")
             response = error_response(request.id, exc)
-        self.latency[op].observe(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - t0
+        self.latency[op].observe(elapsed)
+        self.telemetry.observe_request(op, elapsed, error=not ok)
+        if span is not None:
+            self.telemetry.end_span(span, ok=ok)
         return response
 
     async def _serve_connection(self, reader, writer) -> None:
@@ -406,7 +549,28 @@ class AllocationServer:
         )
 
     def _compute_batch(self, requests: list[Request]) -> list:
-        """One outcome (result dict or exception) per request."""
+        """One outcome (result dict or exception) per request.
+
+        Opens one ``serving.batch`` span carrying the ``trace_id`` of
+        every request it serves, and annotates each request's still-open
+        span with the batch link plus its wait/compute split — the
+        linkage the ``trace`` op exposes.
+        """
+        t_compute = time.perf_counter()
+        trace_ids = [
+            r.trace_id for r in requests if r.trace_id is not None
+        ]
+        batch_span = self.telemetry.start_span(
+            "serving.batch", batch=len(requests), trace_ids=trace_ids
+        )
+        for request in requests:
+            pending = self._trace_pending.get(request.trace_id)
+            if pending is not None:
+                self.telemetry.annotate(
+                    pending[0],
+                    batch_span_id=batch_span.span_id,
+                    wait_seconds=t_compute - pending[1],
+                )
         with obs.timed("serving/batch"):
             outcomes: list = [None] * len(requests)
             grouped = []
@@ -421,11 +585,19 @@ class AllocationServer:
                     outcomes[i] = self._compute_single(request)
             if grouped:
                 self._compute_grouped_allocations(
-                    requests, grouped, outcomes
+                    requests, grouped, outcomes, batch_span=batch_span
                 )
             obs.set_span_attributes(
                 batch=len(requests), grouped=len(grouped)
             )
+        compute_seconds = time.perf_counter() - t_compute
+        for request in requests:
+            pending = self._trace_pending.get(request.trace_id)
+            if pending is not None:
+                self.telemetry.annotate(
+                    pending[0], compute_seconds=compute_seconds
+                )
+        self.telemetry.end_span(batch_span, grouped=len(grouped))
         return outcomes
 
     def _compute_single(self, request: Request):
@@ -454,7 +626,11 @@ class AllocationServer:
         return ConfigurationError(f"unserveable op {request.op!r}")
 
     def _compute_grouped_allocations(
-        self, requests: list[Request], grouped: list[int], outcomes: list
+        self,
+        requests: list[Request],
+        grouped: list[int],
+        outcomes: list,
+        batch_span=None,
     ) -> None:
         """All plain ``allocate`` ops of a batch in one index pass.
 
@@ -478,9 +654,13 @@ class AllocationServer:
                 loads.append(load)
         if not positions:
             return
+        query_span = self.telemetry.start_span(
+            "serving.query_many", parent=batch_span, loads=len(loads)
+        )
         on_sets = self.optimizer.index.query_many(
             loads, skip_infeasible=True
         )
+        self.telemetry.end_span(query_span)
         shared: dict[float, Any] = {}
         coalesced = 0
         for i, load, chosen in zip(positions, loads, on_sets):
@@ -623,6 +803,7 @@ class AllocationServer:
             ),
             "machines": self.optimizer.model.node_count,
             "index_statuses": self.index_statuses,
+            "cache_key": self.index_cache_key,
             "requests": dict(self.requests),
             "errors": dict(self.errors),
             "invalid_requests": self.invalid_requests,
@@ -642,7 +823,157 @@ class AllocationServer:
                 "max_loop_lag_seconds": round(self.max_loop_lag, 6),
                 "interval_seconds": self.config.watchdog_interval,
             },
+            "slo": {
+                "configured": self._slo_watchdog is not None,
+                "policy": self.config.slo_policy,
+                "horizon_seconds": self.config.slo_horizon,
+                "violations": dict(self.telemetry.violation_counts),
+                "worst_headroom": dict(
+                    sorted(self.telemetry.worst_headroom.items())
+                ),
+                "failure": self.slo_failure,
+            },
         }
+
+    def telemetry_payload(self, format: Optional[str] = None) -> dict:
+        """The ``telemetry`` op's result: windowed JSON or Prometheus.
+
+        The default JSON form is :meth:`ServingTelemetry.snapshot` plus
+        the protocol/uptime stamps; ``format="prometheus"`` renders the
+        same state as text exposition (v0.0.4) wrapped in an envelope
+        carrying the scrape ``content_type``.
+        """
+        if format == "prometheus":
+            return {
+                "content_type": "text/plain; version=0.0.4",
+                "text": obs.render_prometheus(self.prometheus_families()),
+            }
+        payload = self.telemetry.snapshot()
+        payload["protocol"] = PROTOCOL_VERSION
+        payload["uptime_seconds"] = (
+            time.monotonic() - self._started_at if self._started else 0.0
+        )
+        payload["slo"]["configured"] = self._slo_watchdog is not None
+        payload["slo"]["policy"] = self.config.slo_policy
+        payload["slo"]["failure"] = self.slo_failure
+        return payload
+
+    def prometheus_families(self) -> list[dict]:
+        """The daemon's metrics as Prometheus metric families.
+
+        Lifetime totals export as counters, point-in-time state as
+        gauges, and the windowed views as gauges labelled by horizon
+        (``window="10"`` means "over the last 10 seconds") — the shape
+        :func:`repro.obs.export.render_prometheus` renders and the CI
+        smoke job validates.
+        """
+        snap = self.telemetry.snapshot()
+        families: list[dict] = []
+
+        def family(name, kind, help_text, samples):
+            families.append({
+                "name": name, "type": kind, "help": help_text,
+                "samples": samples,
+            })
+
+        family(
+            "repro_serving_uptime_seconds", "gauge",
+            "Seconds since the daemon finished starting.",
+            [{"value": (
+                time.monotonic() - self._started_at
+                if self._started else 0.0
+            )}],
+        )
+        family(
+            "repro_serving_requests_total", "counter",
+            "Requests handled since boot, by op.",
+            [{"labels": {"op": op}, "value": count}
+             for op, count in sorted(self.requests.items())],
+        )
+        family(
+            "repro_serving_errors_total", "counter",
+            "Structured error responses since boot, by op.",
+            [{"labels": {"op": op}, "value": count}
+             for op, count in sorted(self.errors.items())],
+        )
+        family(
+            "repro_serving_invalid_requests_total", "counter",
+            "Requests rejected before dispatch (bad JSON or shape).",
+            [{"value": self.invalid_requests}],
+        )
+        family(
+            "repro_serving_inflight", "gauge",
+            "Requests currently being served.",
+            [{"value": self._inflight}],
+        )
+        family(
+            "repro_serving_queue_depth", "gauge",
+            "Requests waiting in the micro-batcher queue.",
+            [{"value": self._batcher.depth}],
+        )
+        family(
+            "repro_serving_batches_total", "counter",
+            "Batches dispatched to the compute thread since boot.",
+            [{"value": self._batcher.batches}],
+        )
+        family(
+            "repro_serving_coalesced_total", "counter",
+            "Duplicate in-batch loads answered from a shared solve.",
+            [{"value": self.coalesced}],
+        )
+        family(
+            "repro_serving_watchdog_stalls_total", "counter",
+            "Event-loop stalls beyond the configured threshold.",
+            [{"value": self.stalls}],
+        )
+        family(
+            "repro_serving_request_rate", "gauge",
+            "Requests per second over the labelled window (seconds).",
+            [{"labels": {"window": h}, "value": entry["rate"]}
+             for h, entry in snap["requests"].items()],
+        )
+        family(
+            "repro_serving_error_rate", "gauge",
+            "Errors per second over the labelled window (seconds).",
+            [{"labels": {"window": h}, "value": entry["rate"]}
+             for h, entry in snap["errors"].items()],
+        )
+        family(
+            "repro_serving_latency_ms", "gauge",
+            "Request latency quantiles over the labelled window.",
+            [{"labels": {"window": h, "quantile": q}, "value": entry[key]}
+             for h, entry in snap["latency_ms"].items()
+             for q, key in (("0.5", "p50"), ("0.99", "p99"))],
+        )
+        family(
+            "repro_serving_batch_size_mean", "gauge",
+            "Mean dispatched batch size over the labelled window.",
+            [{"labels": {"window": h}, "value": entry["mean"]}
+             for h, entry in snap["batch_size"].items()],
+        )
+        family(
+            "repro_serving_queue_depth_max", "gauge",
+            "Peak sampled queue depth over the labelled window.",
+            [{"labels": {"window": h}, "value": entry["max"]}
+             for h, entry in snap["queue_depth"].items()],
+        )
+        family(
+            "repro_serving_slo_violations_total", "counter",
+            "SLO violations recorded since boot, by monitor.",
+            [{"labels": {"monitor": monitor}, "value": count}
+             for monitor, count in sorted(
+                 self.telemetry.violation_counts.items()
+             )],
+        )
+        family(
+            "repro_serving_slo_headroom", "gauge",
+            "Worst observed SLO headroom, by metric (negative = burned).",
+            [{"labels": {"metric": metric}, "value": worst}
+             for metric, worst in sorted(
+                 self.telemetry.worst_headroom.items()
+             )],
+        )
+        return families
 
 
 @contextlib.contextmanager

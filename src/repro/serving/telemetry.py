@@ -1,0 +1,349 @@
+"""Live telemetry store of the serving daemon.
+
+The ``stats`` op reports *lifetime* aggregates — totals since boot,
+which an operator cannot act on during an incident because a morning of
+healthy traffic drowns the last bad minute.  :class:`ServingTelemetry`
+is the daemon's *windowed* view: every request, batch, queue-depth
+sample, and watchdog tick lands in sliding-window instruments
+(:class:`~repro.obs.metrics.WindowedCounter`,
+:class:`~repro.obs.metrics.SlidingHistogram`), so the ``telemetry`` op
+can answer "what are req/s and p99 over the last 10 s / 1 m / 5 m"
+exactly, and the SLO monitors in :mod:`repro.obs.watchdog` can evaluate
+burn rates against the same horizons.
+
+It is also the daemon's trace store.  The process-global
+:class:`~repro.obs.trace.TraceBuffer` belongs to the user (tests and
+benchmarks enable/clear it at will), so the server keeps its own
+bounded deque of recently *closed* spans and events: request spans,
+batch spans, and the ``query_many`` child spans, linked by ids, plus
+``slo.violation`` events.  The ``trace`` op serves the tail of that
+deque as a self-contained trace-JSONL document, and an optional
+:class:`~repro.obs.trace.RotatingTraceExporter` persists every closed
+record to disk (flushed from the watchdog loop, never on the request
+path).
+
+Thread model: the event loop opens/closes request spans and feeds the
+request instruments; the compute thread opens/closes batch spans and
+annotates the request spans it serves.  One lock guards all of it —
+every operation is a few list/dict writes, so contention is negligible
+next to a solve.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import monotonic, perf_counter
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_HORIZONS,
+    SlidingHistogram,
+    WindowedCounter,
+)
+from repro.obs.trace import (
+    RotatingTraceExporter,
+    TraceBuffer,
+    TraceEvent,
+    TraceSpan,
+)
+
+#: Closed spans/events retained in memory for the ``trace`` op.
+MAX_RECENT_SPANS = 2048
+MAX_RECENT_EVENTS = 2048
+
+#: Default (and maximum) span count the ``trace`` op returns.
+DEFAULT_TRACE_LIMIT = 100
+MAX_TRACE_LIMIT = 1000
+
+
+class ServingTelemetry:
+    """Windowed metrics plus a bounded span store for one daemon.
+
+    Parameters
+    ----------
+    window:
+        Seconds of history the sliding instruments retain; every
+        reported horizon must fit inside it.
+    horizons:
+        The horizons (seconds) reported by :meth:`snapshot`.
+    exporter:
+        Optional :class:`~repro.obs.trace.RotatingTraceExporter`; when
+        set, every closed span/event is also queued for :meth:`flush`.
+    clock:
+        Monotonic-seconds callable feeding the windowed instruments
+        (swap in a fake for deterministic tests).  Span timestamps use
+        ``perf_counter`` like the rest of :mod:`repro.obs.trace`.
+    """
+
+    def __init__(
+        self,
+        window: float = 300.0,
+        horizons: tuple = DEFAULT_HORIZONS,
+        exporter: Optional[RotatingTraceExporter] = None,
+        clock=monotonic,
+        keep_spans: int = MAX_RECENT_SPANS,
+        keep_events: int = MAX_RECENT_EVENTS,
+    ) -> None:
+        bad = [h for h in horizons if not 0.0 < h <= window]
+        if not horizons or bad:
+            raise ConfigurationError(
+                f"telemetry horizons must be in (0, {window}] seconds, "
+                f"got {list(horizons)}"
+            )
+        self.window = float(window)
+        self.horizons = tuple(float(h) for h in horizons)
+        self.exporter = exporter
+        self.clock = clock
+        self._lock = threading.Lock()
+        # Windowed instruments (guarded by the lock).
+        self._requests = WindowedCounter("serving.requests", window)
+        self._errors = WindowedCounter("serving.errors", window)
+        self._latency_ms = SlidingHistogram("serving.latency_ms", window)
+        self._latency_by_op: dict[str, SlidingHistogram] = {}
+        self._queue_depth = SlidingHistogram("serving.queue_depth", window)
+        self._batch_size = SlidingHistogram("serving.batch_size", window)
+        self._loop_lag = SlidingHistogram("serving.loop_lag_seconds", window)
+        # Trace store.
+        self._next_span_id = 1
+        self._recent_spans: deque = deque(maxlen=keep_spans)
+        self._recent_events: deque = deque(maxlen=keep_events)
+        self._pending_spans: list[TraceSpan] = []
+        self._pending_events: list[TraceEvent] = []
+        # SLO bookkeeping.
+        self.violation_counts: dict[str, int] = {}
+        self.worst_headroom: dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Windowed instrument feeds (hot path: a few appends under the lock)
+    # ------------------------------------------------------------------ #
+
+    def observe_request(
+        self, op: str, seconds: float, error: bool = False
+    ) -> None:
+        """One finished request: latency plus the request/error rates."""
+        now = self.clock()
+        with self._lock:
+            self._requests.inc(now=now)
+            if error:
+                self._errors.inc(now=now)
+            self._latency_ms.observe(seconds * 1e3, now=now)
+            per_op = self._latency_by_op.get(op)
+            if per_op is None:
+                per_op = self._latency_by_op[op] = SlidingHistogram(
+                    f"serving.latency_ms.{op}", self.window
+                )
+            per_op.observe(seconds * 1e3, now=now)
+
+    def observe_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self._queue_depth.observe(depth, now=self.clock())
+
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self._batch_size.observe(size, now=self.clock())
+
+    def observe_loop_lag(self, lag_seconds: float) -> None:
+        with self._lock:
+            self._loop_lag.observe(lag_seconds, now=self.clock())
+
+    # ------------------------------------------------------------------ #
+    # Windowed reads (the duck-typed surface the SLO monitors consume)
+    # ------------------------------------------------------------------ #
+
+    def request_count(self, horizon: float) -> float:
+        with self._lock:
+            return self._requests.total(horizon, now=self.clock())
+
+    def error_count(self, horizon: float) -> float:
+        with self._lock:
+            return self._errors.total(horizon, now=self.clock())
+
+    def request_rate(self, horizon: float) -> float:
+        with self._lock:
+            return self._requests.rate(horizon, now=self.clock())
+
+    def latency_p99_ms(self, horizon: float) -> float:
+        with self._lock:
+            return self._latency_ms.percentile(
+                99.0, horizon, now=self.clock()
+            )
+
+    def latency_p50_ms(self, horizon: float) -> float:
+        with self._lock:
+            return self._latency_ms.percentile(
+                50.0, horizon, now=self.clock()
+            )
+
+    def max_queue_depth(self, horizon: float) -> float:
+        with self._lock:
+            return self._queue_depth.max_value(horizon, now=self.clock())
+
+    def max_loop_lag_seconds(self, horizon: float) -> float:
+        with self._lock:
+            return self._loop_lag.max_value(horizon, now=self.clock())
+
+    # ------------------------------------------------------------------ #
+    # Span store (request → batch → query_many linkage)
+    # ------------------------------------------------------------------ #
+
+    def start_span(
+        self, name: str, parent: Optional[TraceSpan] = None, **attributes
+    ) -> TraceSpan:
+        """Open a span in the daemon's private trace namespace.
+
+        Unlike :class:`~repro.obs.trace.TraceBuffer` there is no
+        innermost-open-span stack — the loop and compute threads
+        interleave — so the parent is always explicit.
+        """
+        with self._lock:
+            span_id = self._next_span_id
+            self._next_span_id += 1
+        return TraceSpan(
+            span_id=span_id,
+            parent_id=None if parent is None else parent.span_id,
+            name=name,
+            start=perf_counter(),
+            attributes=dict(attributes),
+        )
+
+    def annotate(self, span: TraceSpan, **attributes) -> None:
+        """Attach attributes to a still-open span."""
+        span.attributes.update(attributes)
+
+    def end_span(self, span: TraceSpan, **attributes) -> None:
+        """Close a span and commit it to the recent/pending stores."""
+        span.end = perf_counter()
+        if attributes:
+            span.attributes.update(attributes)
+        with self._lock:
+            self._recent_spans.append(span)
+            if self.exporter is not None:
+                self._pending_spans.append(span)
+
+    def add_event(
+        self, name: str, span_id: Optional[int] = None, **attributes
+    ) -> TraceEvent:
+        event = TraceEvent(
+            name=name,
+            time=perf_counter(),
+            span_id=span_id,
+            attributes=dict(attributes),
+        )
+        with self._lock:
+            self._recent_events.append(event)
+            if self.exporter is not None:
+                self._pending_events.append(event)
+        return event
+
+    def record_violation(self, violation) -> None:
+        """Fold one watchdog :class:`~repro.obs.watchdog.Violation` in.
+
+        Emits the ``slo.violation`` trace event and keeps per-monitor
+        counts/headroom for the ``stats``/``telemetry`` ops.
+        """
+        self.add_event(
+            "slo.violation",
+            monitor=violation.monitor,
+            metric=violation.metric,
+            headroom=violation.headroom,
+            message=violation.message,
+        )
+        with self._lock:
+            self.violation_counts[violation.monitor] = (
+                self.violation_counts.get(violation.monitor, 0) + 1
+            )
+            worst = self.worst_headroom.get(
+                violation.metric, float("inf")
+            )
+            self.worst_headroom[violation.metric] = min(
+                worst, violation.headroom
+            )
+
+    def trace_tail(self, limit: Optional[int] = None) -> dict:
+        """The most recent closed spans (and their events) as JSONL.
+
+        The result of the ``trace`` op: a ``TraceBuffer``-compatible
+        JSONL document plus the span/event counts, small enough for one
+        protocol line.
+        """
+        if limit is None:
+            limit = DEFAULT_TRACE_LIMIT
+        limit = min(int(limit), MAX_TRACE_LIMIT)
+        with self._lock:
+            spans = list(self._recent_spans)[-limit:]
+            events = list(self._recent_events)[-limit:]
+        buffer = TraceBuffer()
+        buffer.spans = spans
+        buffer.events = events
+        if spans:
+            buffer._next_id = max(s.span_id for s in spans) + 1
+        return {
+            "spans": len(spans),
+            "events": len(events),
+            "jsonl": buffer.to_jsonl(),
+        }
+
+    def flush(self) -> int:
+        """Write pending records to the exporter; returns how many.
+
+        Called from the daemon's watchdog loop so disk I/O never sits
+        on the request path.  No-op without an exporter.
+        """
+        if self.exporter is None:
+            return 0
+        with self._lock:
+            spans, self._pending_spans = self._pending_spans, []
+            events, self._pending_events = self._pending_events, []
+        if not spans and not events:
+            return 0
+        self.exporter.write(spans, events)
+        return len(spans) + len(events)
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """JSON-safe windowed summary (the ``telemetry`` op's result)."""
+        now = self.clock()
+        with self._lock:
+            per_op = {
+                op: hist.summary(self.horizons, now=now)
+                for op, hist in sorted(self._latency_by_op.items())
+            }
+            return {
+                "window_seconds": self.window,
+                "horizons": list(self.horizons),
+                "requests": self._requests.summary(self.horizons, now=now),
+                "errors": self._errors.summary(self.horizons, now=now),
+                "latency_ms": self._latency_ms.summary(
+                    self.horizons, now=now
+                ),
+                "latency_ms_by_op": per_op,
+                "queue_depth": self._queue_depth.summary(
+                    self.horizons, now=now
+                ),
+                "batch_size": self._batch_size.summary(
+                    self.horizons, now=now
+                ),
+                "loop_lag_seconds": self._loop_lag.summary(
+                    self.horizons, now=now
+                ),
+                "slo": {
+                    "violations": dict(self.violation_counts),
+                    "worst_headroom": {
+                        k: v
+                        for k, v in sorted(self.worst_headroom.items())
+                    },
+                },
+                "trace": {
+                    "recent_spans": len(self._recent_spans),
+                    "recent_events": len(self._recent_events),
+                    "pending_export": (
+                        len(self._pending_spans)
+                        + len(self._pending_events)
+                    ),
+                },
+            }

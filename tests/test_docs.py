@@ -136,6 +136,20 @@ class TestObservabilityDocument:
         assert "REPRO_BENCH_SIM_NS" in text
         assert (REPO / "benchmarks" / "bench_simulation_speed.py").exists()
 
+    def test_serving_telemetry_section_is_current(self):
+        """The windowed-metrics walkthrough must track the obs surface."""
+        from repro import obs
+
+        text = (REPO / "docs" / "observability.md").read_text()
+        assert "## Serving telemetry" in text
+        for name in ("WindowedCounter", "SlidingHistogram",
+                     "RotatingTraceExporter", "serving_monitors",
+                     "render_prometheus", "validate_prometheus"):
+            assert name in text, name
+            assert hasattr(obs, name), name
+        assert "repro top" in text
+        assert "bench-check" in text
+
 
 class TestResilienceDocument:
     def test_every_python_block_executes(self, tmp_path, monkeypatch):
@@ -231,6 +245,17 @@ class TestServingDocument:
         }
         assert "512" in text and fields["max_batch"] == 512
         assert "5 ms" in text and fields["batch_window"] == 0.005
+
+    def test_telemetry_section_is_current(self):
+        from repro.serving import ServingTelemetry
+
+        text = (REPO / "docs" / "serving.md").read_text()
+        assert "## Telemetry, tracing, and SLOs" in text
+        assert "ServingTelemetry" in text and ServingTelemetry
+        for flag in ("--trace-path", "--slo-p99-ms", "--slo-policy"):
+            assert flag in text, flag
+        assert "repro top" in text
+        assert "repro bench-check" in text
 
     def test_linked_from_readme_and_api(self):
         assert "docs/serving.md" in (REPO / "README.md").read_text()

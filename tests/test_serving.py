@@ -368,7 +368,7 @@ class TestSocketTransports:
             kind, host, port = server.address
             assert kind == "tcp" and port > 0
             with ServingClient(host=host, port=port) as client:
-                assert client.ping()["protocol"] == 1
+                assert client.ping()["protocol"] == 2
 
     def test_config_rejects_both_transports(self):
         with pytest.raises(ConfigurationError):
