@@ -19,13 +19,33 @@ Results land in ``benchmarks/results/consolidation_scale.json``
 (schema: :func:`repro.obs.validate_consolidation_scale`) and a readable
 table in ``benchmarks/results/consolidation_scale.txt``.
 
+The sharded sweep extends the same artifact past the monolithic wall:
+for each ``n:pods`` size it builds a
+:class:`~repro.core.sharding.PodShardedIndex`, times its build and
+single/batched queries, and reports two optimality gaps — versus the
+exact monolithic index where that is affordable (``n <=
+REPRO_BENCH_SCALE_EXACT_MAX``), and versus the seeded
+simulated-annealing baseline (:func:`repro.core.sharding.anneal_on_set`)
+everywhere.  The annealing gap may go *negative* at high utilization:
+both index scans only consider ratio-optimal prefixes per cardinality
+and skip a size whose prefix lacks capacity, while annealing roams all
+same-size subsets — the sweep records the measured gap rather than
+asserting a sign.
+
 Environment knobs (used by the CI bench-smoke job):
 
 - ``REPRO_BENCH_SCALE_NS`` — comma-separated machine counts
   (default ``20,100,300,500``);
 - ``REPRO_BENCH_SCALE_BASELINE_MAX`` — largest ``n`` for which the
   pure-Python baseline is built (default ``300``; the baseline is the
-  expensive side of the comparison).
+  expensive side of the comparison);
+- ``REPRO_BENCH_SCALE_SHARDED`` — comma-separated ``n:pods`` sizes for
+  the sharded sweep (default ``500:10,2000:40,5000:100``; empty string
+  disables it);
+- ``REPRO_BENCH_SCALE_EXACT_MAX`` — largest sharded ``n`` for which the
+  exact monolithic index is built as ground truth (default ``500``);
+- ``REPRO_BENCH_SCALE_ANNEAL_ITERS`` — annealing iterations per load
+  (default ``20000``).
 """
 
 from __future__ import annotations
@@ -42,6 +62,8 @@ import numpy as np
 
 from repro import obs
 from repro.core.consolidation import ConsolidationIndex
+from repro.core.sharding import PodShardedIndex, anneal_on_set, subset_power
+from repro.errors import InfeasibleError
 
 SEED = 2012
 
@@ -63,6 +85,30 @@ def _sizes() -> list[int]:
 
 def _baseline_max() -> int:
     return int(os.environ.get("REPRO_BENCH_SCALE_BASELINE_MAX", "300"))
+
+
+def _sharded_sizes() -> list[tuple[int, int]]:
+    raw = os.environ.get(
+        "REPRO_BENCH_SCALE_SHARDED", "500:10,2000:40,5000:100"
+    )
+    sizes = []
+    for part in raw.split(","):
+        if not part.strip():
+            continue
+        n_str, pods_str = part.split(":")
+        n, pods = int(n_str), int(pods_str)
+        if n < 2 or not 1 <= pods <= n:
+            raise ValueError(f"bad REPRO_BENCH_SCALE_SHARDED={raw!r}")
+        sizes.append((n, pods))
+    return sizes
+
+
+def _exact_max() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE_EXACT_MAX", "500"))
+
+
+def _anneal_iterations() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE_ANNEAL_ITERS", "20000"))
 
 
 def _instance(n: int) -> dict:
@@ -165,6 +211,32 @@ class _Entry:
     identical_answers: Optional[bool]
 
 
+@dataclass
+class _ShardedEntry:
+    """One ``n:pods`` point of the sharded sweep.
+
+    ``exact_gap`` is the worst signed relative cost excess of the
+    sharded answer over the exact monolithic index across the sampled
+    loads (only where the monolithic build is affordable);
+    ``anneal_gap`` the mean signed relative excess of the annealing
+    baseline over the best index answer (negative when annealing finds
+    a cheaper capacity-feasible subset at a size the prefix scans
+    skipped — see the module docstring).
+    """
+
+    n: int
+    pods: int
+    statuses: int
+    queries: int
+    build_seconds: float
+    query_seconds_single: float
+    query_seconds_batched: float
+    max_load_seconds: float
+    exact_gap: Optional[float]
+    anneal_gap: float
+    anneal_seconds: float
+
+
 def _identical(fast: ConsolidationIndex, seed: _SeedIndex,
                loads: np.ndarray) -> bool:
     """Byte-identical tables and query answers vs the seed baseline."""
@@ -231,21 +303,131 @@ def _measure(n: int, baseline_max: int) -> _Entry:
     )
 
 
+def _relative_gap(power: float, reference: float) -> float:
+    return (power - reference) / max(1.0, abs(reference))
+
+
+def _measure_sharded(n: int, pods: int, exact_max: int) -> _ShardedEntry:
+    spec = _instance(n)
+    start = time.perf_counter()
+    index = PodShardedIndex(pods=pods, **spec)
+    build = time.perf_counter() - start
+
+    capacity = sum(spec["capacities"])
+    rng = np.random.default_rng(SEED)
+    # Fresh loads per phase so the shared memo never answers for the
+    # timer (mirrors the monolithic sweep's protocol).
+    singles = rng.uniform(0.1 * capacity, 0.8 * capacity, QUERIES)
+    start = time.perf_counter()
+    for load in singles.tolist():
+        index.query_refined(load)
+    single_per_query = (time.perf_counter() - start) / QUERIES
+
+    batched = rng.uniform(0.1 * capacity, 0.8 * capacity, QUERIES)
+    start = time.perf_counter()
+    index.query_many(batched, skip_infeasible=True)
+    batched_per_query = (time.perf_counter() - start) / QUERIES
+
+    start = time.perf_counter()
+    index.max_load(n * spec["w2"] * 0.6 - spec["rho"] * spec["t_min"])
+    max_load_seconds = time.perf_counter() - start
+
+    # Gap loads: moderate-to-high utilization, where the answers are
+    # interesting but almost always feasible.
+    gap_loads = [frac * capacity for frac in (0.3, 0.5, 0.7)]
+    exact = None
+    if n <= exact_max:
+        mono = ConsolidationIndex(engine="numpy", **spec)
+        worst = 0.0
+        for load in gap_loads:
+            try:
+                p_mono = subset_power(
+                    spec["pairs"], mono.query_refined(load), load,
+                    w2=spec["w2"], rho=spec["rho"],
+                    t_min=spec["t_min"], t_max=spec["t_max"],
+                    capacities=spec["capacities"],
+                )
+                p_shard = subset_power(
+                    spec["pairs"], index.query_refined(load), load,
+                    w2=spec["w2"], rho=spec["rho"],
+                    t_min=spec["t_min"], t_max=spec["t_max"],
+                    capacities=spec["capacities"],
+                )
+            except InfeasibleError:
+                continue
+            gap = _relative_gap(p_shard, p_mono)
+            if abs(gap) > abs(worst):
+                worst = gap
+        exact = worst
+        reference_index = mono
+    else:
+        reference_index = index
+
+    iterations = _anneal_iterations()
+    gaps = []
+    anneal_seconds = 0.0
+    for load in gap_loads:
+        try:
+            reference = subset_power(
+                spec["pairs"], reference_index.query_refined(load), load,
+                w2=spec["w2"], rho=spec["rho"],
+                t_min=spec["t_min"], t_max=spec["t_max"],
+                capacities=spec["capacities"],
+            )
+            start = time.perf_counter()
+            result = anneal_on_set(
+                load=load, seed=SEED, iterations=iterations, **spec
+            )
+            anneal_seconds += time.perf_counter() - start
+        except InfeasibleError:
+            continue
+        gaps.append(_relative_gap(result.power, reference))
+    if not gaps:
+        raise AssertionError(f"n={n}: no feasible annealing gap load")
+
+    return _ShardedEntry(
+        n=n,
+        pods=pods,
+        statuses=index.status_count,
+        queries=QUERIES,
+        build_seconds=build,
+        query_seconds_single=single_per_query,
+        query_seconds_batched=batched_per_query,
+        max_load_seconds=max_load_seconds,
+        exact_gap=exact,
+        anneal_gap=float(np.mean(gaps)),
+        anneal_seconds=anneal_seconds,
+    )
+
+
 def run_consolidation_scale() -> list[_Entry]:
     baseline_max = _baseline_max()
     return [_measure(n, baseline_max) for n in _sizes()]
 
 
-def _document(entries: list[_Entry]) -> dict:
-    return {
+def run_sharded_scale() -> list[_ShardedEntry]:
+    exact_max = _exact_max()
+    return [
+        _measure_sharded(n, pods, exact_max)
+        for n, pods in _sharded_sizes()
+    ]
+
+
+def _document(
+    entries: list[_Entry], sharded: list[_ShardedEntry]
+) -> dict:
+    document = {
         "schema": obs.SCHEMA_VERSION,
         "kind": "consolidation-scale",
         "seed": SEED,
         "entries": [vars(entry) for entry in entries],
     }
+    if sharded:
+        document["sharded"] = [vars(entry) for entry in sharded]
+    return document
 
 
-def _table(entries: list[_Entry]) -> str:
+def _table(entries: list[_Entry], sharded: list[_ShardedEntry]) -> str:
     lines = [
         "consolidation scale: vectorized Algorithm 1 vs pure-Python"
         " baseline",
@@ -264,6 +446,23 @@ def _table(entries: list[_Entry]) -> str:
             f"{1e6 * e.query_seconds_single:>8.1f}us "
             f"{1e6 * e.query_seconds_batched:>8.1f}us"
         )
+    if sharded:
+        lines += [
+            "",
+            "pod-sharded index (shared-ratio cross-pod queries)",
+            f"{'n':>5} {'pods':>5} {'statuses':>10} {'build':>10} "
+            f"{'query':>10} {'batched':>10} {'exact gap':>10} "
+            f"{'anneal gap':>11}",
+        ]
+        for s in sharded:
+            exact = "-" if s.exact_gap is None else f"{s.exact_gap:+.2%}"
+            lines.append(
+                f"{s.n:>5} {s.pods:>5} {s.statuses:>10} "
+                f"{s.build_seconds:>9.3f}s "
+                f"{1e3 * s.query_seconds_single:>8.1f}ms "
+                f"{1e3 * s.query_seconds_batched:>8.1f}ms "
+                f"{exact:>10} {s.anneal_gap:>+10.2%}"
+            )
     return "\n".join(lines)
 
 
@@ -274,13 +473,33 @@ def test_consolidation_scale(benchmark, emit):
     entries = benchmark.pedantic(
         run_consolidation_scale, rounds=1, iterations=1
     )
-    document = _document(entries)
+    sharded = run_sharded_scale()
+    document = _document(entries, sharded)
     obs.validate_consolidation_scale(document)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "consolidation_scale.json").write_text(
         json.dumps(document, indent=2) + "\n"
     )
-    emit("consolidation_scale", _table(entries))
+    emit("consolidation_scale", _table(entries, sharded))
+
+    for entry in sharded:
+        # Against the exact monolithic scan the sharded answer is the
+        # same prefix family, so any gap means a real divergence.
+        if entry.exact_gap is not None:
+            assert abs(entry.exact_gap) <= 0.05, (
+                f"n={entry.n}/pods={entry.pods}: sharded power drifts "
+                f"{entry.exact_gap:+.2%} from the monolithic scan"
+            )
+        # Annealing roams all same-size subsets, so it may legitimately
+        # beat the prefix scans where capacities bind (negative gap) —
+        # but a large gap either way means one of the two is broken.
+        assert -0.05 <= entry.anneal_gap <= 0.5, (
+            f"n={entry.n}/pods={entry.pods}: anneal gap "
+            f"{entry.anneal_gap:+.2%} out of the sane band"
+        )
+        assert entry.query_seconds_batched <= 2.0 * max(
+            entry.query_seconds_single, 1e-7
+        )
 
     for entry in entries:
         # Where the baseline ran, the engines agreed byte for byte.

@@ -61,12 +61,27 @@ class MetricSpec:
 
 
 @dataclass(frozen=True)
+class SectionSpec:
+    """An extra gated entry list under a top-level key ≠ ``entries``.
+
+    Sections are optional on both sides: a result without the section
+    (or a baseline predating it) yields ``new``/``skipped`` rows, never
+    a failure — same grandfathering rule as whole artifacts.
+    """
+
+    key: str
+    identity: tuple[str, ...]
+    metrics: tuple[MetricSpec, ...]
+
+
+@dataclass(frozen=True)
 class KindSpec:
     """How to compare one artifact ``kind``: identity keys + metrics."""
 
     identity: tuple[str, ...]
     metrics: tuple[MetricSpec, ...]
     context: tuple[str, ...] = ()  # top-level keys that must match
+    sections: tuple[SectionSpec, ...] = ()  # extra gated entry lists
 
 
 #: Per-kind comparison specs.  Kinds absent here are skipped, not
@@ -86,6 +101,16 @@ KIND_SPECS: dict[str, KindSpec] = {
         metrics=(
             MetricSpec("build_seconds", "lower"),
             MetricSpec("query_seconds_batched", "lower"),
+        ),
+        sections=(
+            SectionSpec(
+                key="sharded",
+                identity=("n", "pods"),
+                metrics=(
+                    MetricSpec("build_seconds", "lower"),
+                    MetricSpec("query_seconds_batched", "lower"),
+                ),
+            ),
         ),
     ),
     "simulation-speed": KindSpec(
@@ -155,6 +180,52 @@ def _subject(entry: dict, identity: tuple[str, ...]) -> str:
     return ",".join(f"{key}={entry.get(key)}" for key in identity)
 
 
+def _compare_entries(
+    artifact: str,
+    baseline_list: list,
+    current_list: list,
+    identity: tuple[str, ...],
+    metrics: tuple[MetricSpec, ...],
+    prefix: str = "",
+) -> list[CheckRow]:
+    """Verdict rows for one identity-keyed entry list (or section)."""
+    baseline_entries = {
+        _entry_key(entry, identity): entry for entry in baseline_list
+    }
+    rows: list[CheckRow] = []
+    for entry in current_list:
+        subject = prefix + _subject(entry, identity)
+        base_entry = baseline_entries.get(_entry_key(entry, identity))
+        if base_entry is None:
+            rows.append(
+                CheckRow(artifact, subject, "-", "new",
+                         note="no baseline entry")
+            )
+            continue
+        for metric in metrics:
+            base_value = base_entry.get(metric.name)
+            value = entry.get(metric.name)
+            if not isinstance(base_value, (int, float)) or not isinstance(
+                value, (int, float)
+            ):
+                rows.append(
+                    CheckRow(artifact, subject, metric.name, "skipped",
+                             note="metric missing")
+                )
+                continue
+            verdict = metric.verdict(float(base_value), float(value))
+            note = ""
+            if verdict == "regression":
+                note = (f"{metric.direction}-is-better beyond "
+                        f"{metric.tolerance:g}x tolerance")
+            rows.append(
+                CheckRow(artifact, subject, metric.name, verdict,
+                         baseline=float(base_value),
+                         current=float(value), note=note)
+            )
+    return rows
+
+
 def compare_documents(
     artifact: str, baseline: dict, current: dict
 ) -> list[CheckRow]:
@@ -182,41 +253,27 @@ def compare_documents(
                           f"{baseline.get(key)!r}"),
                 )
             ]
-    baseline_entries = {
-        _entry_key(entry, spec.identity): entry
-        for entry in baseline.get("entries", [])
-    }
-    rows: list[CheckRow] = []
-    for entry in current.get("entries", []):
-        subject = _subject(entry, spec.identity)
-        base_entry = baseline_entries.get(_entry_key(entry, spec.identity))
-        if base_entry is None:
-            rows.append(
-                CheckRow(artifact, subject, "-", "new",
-                         note="no baseline entry")
+    rows = _compare_entries(
+        artifact,
+        baseline.get("entries", []),
+        current.get("entries", []),
+        spec.identity,
+        spec.metrics,
+    )
+    for section in spec.sections:
+        current_list = current.get(section.key)
+        if not isinstance(current_list, list):
+            continue  # result has no such section — nothing to gate
+        baseline_list = baseline.get(section.key)
+        if not isinstance(baseline_list, list):
+            baseline_list = []  # baseline predates it: rows come out "new"
+        rows.extend(
+            _compare_entries(
+                artifact, baseline_list, current_list,
+                section.identity, section.metrics,
+                prefix=f"{section.key}:",
             )
-            continue
-        for metric in spec.metrics:
-            base_value = base_entry.get(metric.name)
-            value = entry.get(metric.name)
-            if not isinstance(base_value, (int, float)) or not isinstance(
-                value, (int, float)
-            ):
-                rows.append(
-                    CheckRow(artifact, subject, metric.name, "skipped",
-                             note="metric missing")
-                )
-                continue
-            verdict = metric.verdict(float(base_value), float(value))
-            note = ""
-            if verdict == "regression":
-                note = (f"{metric.direction}-is-better beyond "
-                        f"{metric.tolerance:g}x tolerance")
-            rows.append(
-                CheckRow(artifact, subject, metric.name, verdict,
-                         baseline=float(base_value),
-                         current=float(value), note=note)
-            )
+        )
     if not rows:
         rows.append(
             CheckRow(artifact, "-", "-", "skipped", note="no entries")

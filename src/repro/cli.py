@@ -12,6 +12,7 @@ Usage::
     repro metrics --load 400        # instrumented run + registry dump (JSON)
     repro index --machines 20 --save idx.npz   # build + persist Algorithm 1
     repro index --cache-dir .repro-cache       # warm a reusable index cache
+    repro index --machines 5000 --pods 100     # pod-sharded index at scale
     repro trace --out trace.jsonl   # traced + watched controller scenario
     repro trace --chrome trace.json # ... also export for chrome://tracing
     repro dashboard --trace trace.jsonl   # render a recorded trace
@@ -20,6 +21,7 @@ Usage::
     repro faults --quick --seed 7   # two-scenario smoke campaign
     repro serve --socket repro.sock # allocation daemon on a unix socket
     repro serve --port 7077 --model model.json  # ... over TCP, saved model
+    repro serve --socket repro.sock --pods 24   # ... on a sharded index
     repro serve --socket repro.sock --trace-path traces/serve.jsonl \\
         --slo-p99-ms 50   # ... with span export and a latency SLO
     repro top --socket repro.sock   # live windowed view of a daemon
@@ -130,6 +132,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of persisted consolidation indexes; the index "
         "target loads a matching index from here instead of rebuilding, "
         "and writes fresh builds back (index target only)",
+    )
+    parser.add_argument(
+        "--pods",
+        type=int,
+        default=None,
+        help="shard the consolidation index into this many contiguous "
+        "pods (selection='sharded'): per-pod Algorithm-1 tables with a "
+        "shared-ratio cross-pod query, the scaling path beyond n≈500 "
+        "(index and serve targets; see docs/algorithms.md)",
     )
     parser.add_argument(
         "--plot",
@@ -400,6 +411,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         import time
 
         from repro.analysis.report import render_top
+        from repro.errors import ServingUnavailableError
         from repro.serving import ServingClient
 
         if args.socket is None and args.port is None:
@@ -410,24 +422,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         frames = 0
         try:
-            with ServingClient(
-                socket_path=args.socket,
-                host=None if args.socket else args.host,
-                port=None if args.socket else args.port,
-            ) as client:
-                while args.iterations is None or frames < args.iterations:
-                    telemetry = client.telemetry()
-                    stats = client.stats()
-                    if sys.stdout.isatty() and frames:
-                        # Repaint in place between frames.
-                        print("\x1b[2J\x1b[H", end="")
-                    print(render_top(telemetry, stats), flush=True)
-                    frames += 1
-                    if (
-                        args.iterations is None
-                        or frames < args.iterations
-                    ):
-                        time.sleep(args.interval)
+            # One short-lived connection per frame: a daemon drain or
+            # restart between refreshes costs one "unavailable" frame,
+            # never the session.
+            while args.iterations is None or frames < args.iterations:
+                try:
+                    with ServingClient(
+                        socket_path=args.socket,
+                        host=None if args.socket else args.host,
+                        port=None if args.socket else args.port,
+                    ) as client:
+                        frame = render_top(
+                            client.telemetry(), client.stats()
+                        )
+                except ServingUnavailableError:
+                    frame = "server unavailable (draining?)"
+                if sys.stdout.isatty() and frames:
+                    # Repaint in place between frames.
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame, flush=True)
+                frames += 1
+                if args.iterations is None or frames < args.iterations:
+                    time.sleep(args.interval)
         except KeyboardInterrupt:
             pass
         return 0
@@ -454,7 +470,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 sim_engine=args.sim_engine,
             )
             model = ctx.model
-        optimizer = JointOptimizer(model, index_cache_dir=args.cache_dir)
+        optimizer = JointOptimizer(
+            model,
+            selection="sharded" if args.pods is not None else "index",
+            pods=args.pods,
+            index_cache_dir=args.cache_dir,
+        )
         config = ServingConfig(
             socket_path=args.socket,
             host=args.host,
@@ -570,13 +591,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 sim_engine=args.sim_engine,
             )
             model = ctx.model
-        optimizer = JointOptimizer(model, index_cache_dir=args.cache_dir)
+        if args.pods is not None and args.save:
+            print(
+                "--save writes one monolithic .npz and cannot persist a "
+                "sharded index; use --cache-dir (pods are cached there "
+                "per content key)",
+                file=sys.stderr,
+            )
+            return 2
+        optimizer = JointOptimizer(
+            model,
+            selection="sharded" if args.pods is not None else "index",
+            pods=args.pods,
+            index_cache_dir=args.cache_dir,
+        )
         start = time.perf_counter()
-        index = optimizer.index
+        index = optimizer.query_index
         elapsed = time.perf_counter() - start
+        sharding = (
+            f" in {index.pod_count} pods"
+            if args.pods is not None
+            else ""
+        )
         print(
-            f"consolidation index for {len(index.pairs)} machines: "
-            f"{index.event_count} events, {index.status_count} statuses "
+            f"consolidation index for {len(index.pairs)} machines"
+            f"{sharding}: {index.event_count} events, "
+            f"{index.status_count} statuses "
             f"({1e3 * elapsed:.1f} ms, key {index.cache_key[:12]})"
         )
         if args.save:

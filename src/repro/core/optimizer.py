@@ -22,6 +22,7 @@ paper's complexity claims.
 from __future__ import annotations
 
 import pathlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Literal, Optional, Sequence, Union
 
@@ -36,8 +37,9 @@ from repro.core.consolidation import (
 )
 from repro.core.model import SystemModel
 from repro.core.select import brute_force_subset, optimal_subset
+from repro.core.sharding import PodShardedIndex
 
-SelectionMethod = Literal["index", "exact", "brute"]
+SelectionMethod = Literal["index", "sharded", "exact", "brute"]
 CostModel = Literal["paper", "actuated"]
 
 #: Interior grid points probed in one batch to shrink the ``maxL``
@@ -89,6 +91,9 @@ class JointOptimizer:
     selection:
         How to pick the ON set when consolidating: ``"index"`` uses the
         paper's Algorithms 1-2 (with the exact re-scoring window),
+        ``"sharded"`` the pod-partitioned
+        :class:`~repro.core.sharding.PodShardedIndex` (thousands of
+        machines; the monolithic pre-processing walls out near n = 500),
         ``"exact"`` the Dinkelbach per-``k`` scan, ``"brute"`` exhaustive
         search (small n only).
     cost_model:
@@ -103,7 +108,14 @@ class JointOptimizer:
         the parameters' content hash and loads it instead of re-running
         the O(n^3 log n) pre-processing; a fresh build is written back
         for the next run.  Stale or corrupt files are rebuilt, never
-        trusted.
+        trusted.  With ``selection="sharded"`` the same directory holds
+        the per-pod documents.
+    pods:
+        Pod count for ``selection="sharded"`` (default: sized so each
+        pod holds about
+        :data:`~repro.core.sharding.DEFAULT_POD_MACHINES` machines).
+        Rejected with any other selection method — it would silently do
+        nothing.
     """
 
     def __init__(
@@ -112,18 +124,29 @@ class JointOptimizer:
         selection: SelectionMethod = "index",
         cost_model: CostModel = "paper",
         index_cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        pods: Optional[int] = None,
     ) -> None:
-        if selection not in ("index", "exact", "brute"):
+        if selection not in ("index", "sharded", "exact", "brute"):
             raise ConfigurationError(f"unknown selection method {selection!r}")
         if cost_model not in ("paper", "actuated"):
             raise ConfigurationError(f"unknown cost model {cost_model!r}")
+        if pods is not None and selection != "sharded":
+            raise ConfigurationError(
+                f'pods={pods} only applies to selection="sharded" '
+                f"(got selection={selection!r})"
+            )
         self.model = model
         self.selection = selection
         self.cost_model = cost_model
+        self.pods = None if pods is None else int(pods)
         self.index_cache_dir = (
             None if index_cache_dir is None else pathlib.Path(index_cache_dir)
         )
         self._index: Optional[ConsolidationIndex] = None
+        self._sharded_index: Optional[PodShardedIndex] = None
+        self._survivor_indexes: OrderedDict[
+            frozenset, tuple[PodShardedIndex, list[int]]
+        ] = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # Cost coefficients of the subset-selection reduction (Eq. 23)
@@ -215,6 +238,88 @@ class JointOptimizer:
         save_consolidation_index(index, path)
         return index
 
+    @property
+    def sharded_index(self) -> PodShardedIndex:
+        """The lazily built pod-sharded structure (shared across queries).
+
+        Pod tables go through the same ``.npz`` cache directory as the
+        monolithic index when ``index_cache_dir`` is set — each pod is
+        keyed by its own content hash, so pods are reused across runs
+        (and across optimizers over the same machine subsets).
+        """
+        if self._sharded_index is None:
+            w2_eff, rho = self._cost_coefficients()
+            t_min, t_max = self._t_bounds()
+            obs.count("optimizer.sharded_index_builds")
+            self._sharded_index = PodShardedIndex(
+                pairs=self.model.ab_pairs(),
+                w2=w2_eff,
+                rho=rho,
+                t_min=t_min,
+                t_max=t_max,
+                capacities=self.model.capacities,
+                pods=self.pods,
+                cache_dir=self.index_cache_dir,
+            )
+        return self._sharded_index
+
+    @property
+    def query_index(self):
+        """The index answering this optimizer's batched/selection queries.
+
+        ``selection="sharded"`` routes to :attr:`sharded_index`; every
+        other method uses the monolithic :attr:`index`.  The serving
+        daemon warms and queries through this property so a sharded
+        optimizer serves n = 5000 rooms without further wiring.
+        """
+        if self.selection == "sharded":
+            return self.sharded_index
+        return self.index
+
+    def _survivor_index(
+        self, excluded: frozenset
+    ) -> tuple[PodShardedIndex, list[int]]:
+        """A pod-sharded index over the surviving (non-excluded) machines.
+
+        Exclusions invalidate the pre-computed global tables (they are
+        prefix-based), but fault-campaign replans re-probe the same
+        degraded room many times — so the survivors get their own
+        sharded index, memoized per exclusion set.  Sharded builds are
+        ``sum_p m_p^3``, cheap enough to amortize within a single
+        bracketing pass even at n = 500 (a monolithic survivor rebuild
+        would cost more than the sequential solves it replaces).
+
+        Returns ``(index, survivors)`` where ``survivors[j]`` maps the
+        index's local machine ``j`` back to the global id.
+        """
+        cached = self._survivor_indexes.get(excluded)
+        if cached is not None:
+            self._survivor_indexes.move_to_end(excluded)
+            return cached
+        survivors = [
+            i for i in range(self.model.node_count) if i not in excluded
+        ]
+        w2_eff, rho = self._cost_coefficients()
+        t_min, t_max = self._t_bounds()
+        pods = self.pods
+        if pods is not None:
+            pods = max(1, min(pods, len(survivors)))
+        obs.count("optimizer.survivor_index_builds")
+        index = PodShardedIndex(
+            pairs=[self.model.ab_pairs()[i] for i in survivors],
+            w2=w2_eff,
+            rho=rho,
+            t_min=t_min,
+            t_max=t_max,
+            capacities=[self.model.capacities[i] for i in survivors],
+            pods=pods,
+            cache_dir=self.index_cache_dir,
+        )
+        while len(self._survivor_indexes) >= 4:
+            self._survivor_indexes.popitem(last=False)
+        self._survivor_indexes[excluded] = (index, survivors)
+        return index, survivors
+
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
@@ -227,10 +332,11 @@ class JointOptimizer:
         """Choose which machines to power on for ``total_load`` tasks/s.
 
         ``exclude`` removes machines from consideration (failed hardware,
-        maintenance).  Exclusions invalidate the pre-computed index, so
-        that path falls back to the exact per-query scan over the
-        surviving machines — still fast (the scan is polynomial) and
-        exactly optimal.
+        maintenance).  Exclusions invalidate the pre-computed index:
+        ``selection="index"`` falls back to the exact per-query scan
+        over the surviving machines (polynomial, exactly optimal), while
+        ``selection="sharded"`` re-shards the survivors (memoized per
+        exclusion set) so degraded queries stay fast at n = 5000.
         """
         if total_load <= 0.0:
             raise ConfigurationError(
@@ -253,8 +359,13 @@ class JointOptimizer:
                 f"load {total_load:.3f} exceeds surviving capacity "
                 f"{capacity:.3f}"
             )
-        if self.selection == "index" and not excluded:
-            return self.index.query_refined(total_load)
+        if self.selection in ("index", "sharded") and not excluded:
+            return self.query_index.query_refined(total_load)
+        if self.selection == "sharded":
+            index, survivor_ids = self._survivor_index(frozenset(excluded))
+            return sorted(
+                survivor_ids[j] for j in index.query_refined(total_load)
+            )
         w2_eff, rho = self._cost_coefficients()
         t_min, t_max = self._t_bounds()
         pairs = [self.model.ab_pairs()[i] for i in survivors]
@@ -318,15 +429,24 @@ class JointOptimizer:
         def predicted_many(loads: Sequence[float]) -> list[float]:
             """Batched probes for the bracketing grid.
 
-            On the index path one :meth:`ConsolidationIndex.query_many`
-            answers every selection at once (amortizing the binary
-            searches and warming the query memo for the sequential
-            refinement); budget-infeasible probes report infinite power,
-            which the monotone bracket treats as "over budget".
+            On the index paths one ``query_many`` answers every
+            selection at once (amortizing the binary searches and
+            warming the query memo for the sequential refinement);
+            budget-infeasible probes report infinite power, which the
+            monotone bracket treats as "over budget".  With a non-empty
+            ``exclude`` the probes run against the memoized survivor
+            index of :meth:`_survivor_index` — the bracket stays
+            batched on exactly the path every fault-campaign replan
+            takes (this used to bail to one sequential ``solve`` per
+            probe; ``optimizer.max_load_fallback_solves`` counts the
+            remaining non-index fallbacks so any regression here is
+            observable).  The grid only steers the bracket: the final
+            answer still comes from the exact sequential refinement.
             """
             loads = [float(v) for v in loads]
             obs.count("optimizer.max_load_probes", len(loads))
-            if self.selection != "index" or excluded:
+            if self.selection not in ("index", "sharded"):
+                obs.count("optimizer.max_load_fallback_solves", len(loads))
                 powers = []
                 for load in loads:
                     try:
@@ -338,12 +458,21 @@ class JointOptimizer:
                     except InfeasibleError:
                         powers.append(float("inf"))
                 return powers
-            on_sets = self.index.query_many(loads, skip_infeasible=True)
+            if excluded:
+                index, survivor_ids = self._survivor_index(
+                    frozenset(excluded)
+                )
+            else:
+                index, survivor_ids = self.query_index, None
+            obs.count("optimizer.max_load_batched_probes", len(loads))
+            on_sets = index.query_many(loads, skip_infeasible=True)
             powers = []
             for load, chosen in zip(loads, on_sets):
                 if chosen is None:
                     powers.append(float("inf"))
                     continue
+                if survivor_ids is not None:
+                    chosen = [survivor_ids[j] for j in chosen]
                 try:
                     solution = solve_closed_form(self.model, chosen, load)
                 except InfeasibleError:

@@ -164,6 +164,13 @@ _SCALE_ENTRY_KEYS = (
     "query_seconds_batched", "identical_answers",
 )
 
+#: Keys every pod-sharded scale entry must carry.
+_SCALE_SHARDED_KEYS = (
+    "n", "pods", "statuses", "queries", "build_seconds",
+    "query_seconds_single", "query_seconds_batched",
+    "max_load_seconds", "exact_gap", "anneal_gap", "anneal_seconds",
+)
+
 
 def validate_consolidation_scale(document: Mapping) -> None:
     """Raise :class:`ConfigurationError` unless ``document`` is a valid
@@ -187,6 +194,21 @@ def validate_consolidation_scale(document: Mapping) -> None:
               "query_seconds_batched": <mean per query via query_many, s>,
               "identical_answers": true | null
             }, ...
+          ],
+          "sharded": [            # optional pod-sharded sweep
+            {
+              "n": <machines>, "pods": <int>, "statuses": <int>,
+              "queries": <int>,
+              "build_seconds": <sharded build, s>,
+              "query_seconds_single": <mean per fresh query, s>,
+              "query_seconds_batched": <mean per query via query_many, s>,
+              "max_load_seconds": <one maxL call, s>,
+              "exact_gap": <worst signed relative power gap vs the
+                            monolithic scan> | null,
+              "anneal_gap": <mean signed relative gap of the sharded
+                             answer vs a seeded annealing baseline>,
+              "anneal_seconds": <total anneal wall time, s>
+            }, ...
           ]
         }
 
@@ -195,6 +217,12 @@ def validate_consolidation_scale(document: Mapping) -> None:
     the baseline ran, ``identical_answers`` records that both engines
     returned byte-identical tables and query answers (the bench asserts
     it, the schema requires the stamp to be present and true).
+
+    In the ``sharded`` section ``exact_gap`` is ``null`` above the
+    exact-comparison cutoff, and ``anneal_gap`` may be *negative*: the
+    prefix scans skip capacity-infeasible ratio-optimal prefixes, so a
+    same-size annealed subset can legitimately win where capacities
+    bind (the bench bounds, not signs, the gap).
     """
     if not isinstance(document, Mapping):
         raise ConfigurationError(
@@ -260,6 +288,46 @@ def validate_consolidation_scale(document: Mapping) -> None:
                     "'identical_answers' must be true when the baseline "
                     "ran — engines disagreed or the stamp is missing"
                 )
+    sharded = document.get("sharded")
+    if sharded is None:
+        return
+    if not isinstance(sharded, list) or not sharded:
+        raise ConfigurationError(
+            "'sharded' must be a non-empty list when present"
+        )
+    for entry in sharded:
+        if not isinstance(entry, Mapping):
+            raise ConfigurationError("each sharded entry must be a map")
+        missing = [k for k in _SCALE_SHARDED_KEYS if k not in entry]
+        if missing:
+            raise ConfigurationError(f"sharded entry missing {missing}")
+        for key in ("n", "pods", "statuses", "queries"):
+            value = entry[key]
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"sharded entry {key!r} must be a positive int"
+                )
+        if entry["pods"] > entry["n"]:
+            raise ConfigurationError(
+                "sharded entry 'pods' cannot exceed 'n'"
+            )
+        for key in ("build_seconds", "query_seconds_single",
+                    "query_seconds_batched", "max_load_seconds",
+                    "anneal_seconds"):
+            value = entry[key]
+            if not isinstance(value, (int, float)) or value < 0.0:
+                raise ConfigurationError(
+                    f"sharded entry {key!r} must be a non-negative number"
+                )
+        exact_gap = entry["exact_gap"]
+        if exact_gap is not None and not isinstance(exact_gap, (int, float)):
+            raise ConfigurationError(
+                "sharded entry 'exact_gap' must be a number or null"
+            )
+        if not isinstance(entry["anneal_gap"], (int, float)):
+            raise ConfigurationError(
+                "sharded entry 'anneal_gap' must be a number"
+            )
 
 
 #: Controllers every resilience scenario must report.

@@ -22,12 +22,32 @@ import pathlib
 import socket
 from typing import Optional, Sequence, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ServingUnavailableError
 from repro.serving.protocol import MAX_LINE_BYTES, encode, raise_error
+
+#: OS-level errors meaning "the daemon is not there right now" — a
+#: refused/reset/missing socket, or a pipe broken by a mid-call drain.
+#: All of them are retryable, none of them are the caller's fault, so
+#: the client maps every one to :class:`ServingUnavailableError`.
+_UNAVAILABLE_ERRORS = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    BrokenPipeError,
+    FileNotFoundError,
+    socket.timeout,
+)
 
 
 class ServingClient:
-    """Talk to one ``repro serve`` daemon over unix socket or TCP."""
+    """Talk to one ``repro serve`` daemon over unix socket or TCP.
+
+    Daemon restarts and drains are part of normal operation, so the
+    transport errors they cause (``ConnectionRefusedError``,
+    ``BrokenPipeError``, a vanished socket file, a reset) never escape
+    raw: every call surfaces them as the retryable
+    :class:`~repro.errors.ServingUnavailableError` instead of a
+    traceback.  Reconnect by constructing a fresh client.
+    """
 
     def __init__(
         self,
@@ -40,14 +60,26 @@ class ServingClient:
             raise ConfigurationError(
                 "connect with either socket_path or host+port"
             )
-        if socket_path is not None:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(str(socket_path))
-        else:
-            self._sock = socket.create_connection(
-                (host, int(port)), timeout=timeout
+        try:
+            if socket_path is not None:
+                self._sock = socket.socket(
+                    socket.AF_UNIX, socket.SOCK_STREAM
+                )
+                self._sock.settimeout(timeout)
+                self._sock.connect(str(socket_path))
+            else:
+                self._sock = socket.create_connection(
+                    (host, int(port)), timeout=timeout
+                )
+        except _UNAVAILABLE_ERRORS as exc:
+            target = (
+                str(socket_path) if socket_path is not None
+                else f"{host}:{port}"
             )
+            raise ServingUnavailableError(
+                f"cannot reach serving daemon at {target}: {exc} "
+                "(not started, draining, or restarting?)"
+            ) from exc
         self._reader = self._sock.makefile("rb")
         self._next_id = 0
 
@@ -60,7 +92,9 @@ class ServingClient:
 
         Raises the re-hydrated :mod:`repro.errors` exception on a
         structured error response, :class:`ConfigurationError` on a
-        broken envelope or closed connection.
+        broken envelope, and the retryable
+        :class:`~repro.errors.ServingUnavailableError` when the daemon
+        dropped the connection (drain, restart, crash).
         """
         self._next_id += 1
         request_id = self._next_id
@@ -68,10 +102,16 @@ class ServingClient:
         payload.update(
             {key: value for key, value in params.items() if value is not None}
         )
-        self._sock.sendall(encode(payload))
-        line = self._reader.readline(MAX_LINE_BYTES)
+        try:
+            self._sock.sendall(encode(payload))
+            line = self._reader.readline(MAX_LINE_BYTES)
+        except _UNAVAILABLE_ERRORS as exc:
+            raise ServingUnavailableError(
+                f"serving daemon dropped the connection mid-call: {exc} "
+                "(draining or restarting?)"
+            ) from exc
         if not line:
-            raise ConfigurationError(
+            raise ServingUnavailableError(
                 "connection closed by server (draining or crashed?)"
             )
         try:

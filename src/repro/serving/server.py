@@ -261,7 +261,7 @@ class AllocationServer:
         """Force the index build (or ``.npz`` cache load) before the
         first request, so no client pays the O(n^3 log n) cold start."""
         with obs.timed("serving/warm_start"):
-            index = self.optimizer.index
+            index = self.optimizer.query_index
         self.index_statuses = index.status_count
         self.index_cache_key = getattr(index, "cache_key", None)
 
@@ -657,7 +657,7 @@ class AllocationServer:
         query_span = self.telemetry.start_span(
             "serving.query_many", parent=batch_span, loads=len(loads)
         )
-        on_sets = self.optimizer.index.query_many(
+        on_sets = self.optimizer.query_index.query_many(
             loads, skip_infeasible=True
         )
         self.telemetry.end_span(query_span)
@@ -745,7 +745,7 @@ class AllocationServer:
                     slots[k] = infeasible_entry(
                         load, ConfigurationError("load must be positive")
                     )
-            on_sets = self.optimizer.index.query_many(
+            on_sets = self.optimizer.query_index.query_many(
                 [load for _, load in valid], skip_infeasible=True
             )
             for (k, load), chosen in zip(valid, on_sets):

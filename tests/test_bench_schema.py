@@ -203,6 +203,60 @@ class TestConsolidationScaleSchema:
             obs.validate_consolidation_scale(document)
 
 
+def _sharded_entry(**overrides):
+    entry = {
+        "n": 80, "pods": 4, "statuses": 7120, "queries": 64,
+        "build_seconds": 0.006, "query_seconds_single": 0.0004,
+        "query_seconds_batched": 0.0005, "max_load_seconds": 0.006,
+        "exact_gap": 0.0, "anneal_gap": -0.0035, "anneal_seconds": 0.02,
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestShardedScaleSection:
+    def test_document_with_sharded_section_validates(self):
+        document = _scale_document()
+        document["sharded"] = [_sharded_entry()]
+        obs.validate_consolidation_scale(document)
+
+    def test_null_exact_gap_validates(self):
+        # Above the exact-comparison cutoff no monolithic ground truth
+        # is built; the gap is null, not fabricated.
+        document = _scale_document()
+        document["sharded"] = [_sharded_entry(exact_gap=None)]
+        obs.validate_consolidation_scale(document)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"pods": 0},
+            {"pods": 81},
+            {"build_seconds": -1.0},
+            {"anneal_gap": None},
+            {"exact_gap": "tiny"},
+        ],
+        ids=["pods-zero", "pods-gt-n", "build-neg", "anneal-null",
+             "exact-type"],
+    )
+    def test_rejects_malformed_sharded_entries(self, overrides):
+        document = _scale_document()
+        document["sharded"] = [_sharded_entry(**overrides)]
+        with pytest.raises(ConfigurationError):
+            obs.validate_consolidation_scale(document)
+
+    def test_rejects_empty_or_missing_key_section(self):
+        document = _scale_document()
+        document["sharded"] = []
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            obs.validate_consolidation_scale(document)
+        entry = _sharded_entry()
+        del entry["anneal_gap"]
+        document["sharded"] = [entry]
+        with pytest.raises(ConfigurationError, match="missing"):
+            obs.validate_consolidation_scale(document)
+
+
 def _sim_speed_entry(**overrides):
     entry = {
         "n": 20, "steps_numpy": 4000, "steps_python": 400,

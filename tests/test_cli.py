@@ -51,6 +51,30 @@ class TestCli:
         assert save.exists()
         assert f"index written to {save}" in out
 
+    def test_index_target_builds_sharded_pods(self, capsys, tmp_path):
+        assert main(
+            ["index", "--machines", "12", "--seed", "7", "--pods", "3",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "12 machines in 3 pods" in out
+        # One .npz per pod, keyed by the pod's own content hash.
+        assert len(list(tmp_path.glob("consolidation-*.npz"))) == 3
+
+    def test_index_rejects_pods_with_save(self, capsys, tmp_path):
+        assert main(
+            ["index", "--machines", "12", "--pods", "3",
+             "--save", str(tmp_path / "idx.npz")]
+        ) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_top_renders_unavailable_on_dead_socket(self, capsys, tmp_path):
+        assert main(
+            ["top", "--socket", str(tmp_path / "dead.sock"),
+             "--iterations", "1"]
+        ) == 0
+        assert "server unavailable (draining?)" in capsys.readouterr().out
+
     def test_index_target_uses_cache_dir(self, capsys, tmp_path):
         args = ["index", "--machines", "6", "--seed", "7",
                 "--cache-dir", str(tmp_path)]

@@ -374,6 +374,65 @@ class TestSocketTransports:
         with pytest.raises(ConfigurationError):
             ServingConfig(socket_path="x.sock", port=7077)
 
+    def test_sharded_optimizer_serves_end_to_end(self, tmp_path):
+        optimizer = JointOptimizer(
+            make_system_model(n=6), selection="sharded", pods=2
+        )
+        capacity = sum(optimizer.model.capacities)
+        sock = str(tmp_path / "serve.sock")
+        config = ServingConfig(socket_path=sock, batch_window=0.002)
+        with background_server(optimizer, config):
+            with ServingClient(socket_path=sock) as client:
+                result = client.allocate(load=0.5 * capacity)
+                direct = optimizer.solve(0.5 * capacity)
+                assert result["on_ids"] == list(direct.on_ids)
+                stats = client.stats()
+                assert stats["cache_key"] == optimizer.query_index.cache_key
+
+
+class TestClientUnavailable:
+    """The satellite bugfix: daemon drains/restarts surface as the
+    retryable ServingUnavailableError, never a raw socket traceback."""
+
+    def test_missing_socket_is_unavailable_not_traceback(self, tmp_path):
+        with pytest.raises(ServingUnavailableError, match="cannot reach"):
+            ServingClient(socket_path=tmp_path / "never-started.sock")
+
+    def test_connection_closed_mid_call_is_unavailable(self, tmp_path):
+        # A listener that accepts and immediately hangs up — what a
+        # client sees when the daemon drains between connect and call.
+        sock_path = str(tmp_path / "drain.sock")
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(sock_path)
+        listener.listen(1)
+
+        def hang_up():
+            conn, _ = listener.accept()
+            conn.close()
+
+        thread = threading.Thread(target=hang_up)
+        thread.start()
+        try:
+            client = ServingClient(socket_path=sock_path, timeout=5.0)
+            with pytest.raises(
+                ServingUnavailableError, match="draining"
+            ):
+                client.ping()
+            client.close()
+        finally:
+            thread.join()
+            listener.close()
+
+    def test_unavailable_is_retryable_after_daemon_returns(self, tmp_path):
+        optimizer = _optimizer()
+        sock = str(tmp_path / "serve.sock")
+        with pytest.raises(ServingUnavailableError):
+            ServingClient(socket_path=sock)
+        # The daemon comes back; a fresh client just works.
+        with background_server(optimizer, ServingConfig(socket_path=sock)):
+            with ServingClient(socket_path=sock) as client:
+                assert client.ping()["status"] == "ok"
+
 
 class TestServeCommand:
     def _spawn(self, arguments, env):
