@@ -50,9 +50,16 @@ class MetricSpec:
     name: str
     direction: str  # "lower" (latencies, seconds) or "higher" (rates)
     tolerance: float = DEFAULT_TOLERANCE
+    #: How to treat a zero/negative baseline: "skip" (ratios are
+    #: meaningless for noisy timings) or "strict" — a zero baseline is
+    #: a *promise* (e.g. zero violation-seconds) and any nonzero
+    #: current value of a lower-is-better metric is a regression.
+    zero_baseline: str = "skip"
 
     def verdict(self, baseline: float, current: float) -> str:
         if baseline <= 0.0:
+            if self.zero_baseline == "strict" and self.direction == "lower":
+                return "regression" if current > baseline + 1e-9 else "ok"
             return "skipped"
         ratio = current / baseline
         if self.direction == "lower":
@@ -117,6 +124,30 @@ KIND_SPECS: dict[str, KindSpec] = {
         identity=("n",),
         metrics=(
             MetricSpec("steps_per_second_numpy", "higher"),
+        ),
+    ),
+    "mpc": KindSpec(
+        identity=("scenario", "controller"),
+        context=("machines", "horizon"),
+        metrics=(
+            MetricSpec("violation_seconds", "lower"),
+            MetricSpec("energy_joules", "lower"),
+            MetricSpec("served_task_seconds", "higher"),
+        ),
+        sections=(
+            # The acceptance gate rides here: the committed baseline has
+            # MPC at zero violation-seconds on every scenario, so the
+            # strict zero-baseline rule turns *any* nonzero
+            # mpc_violation_seconds into a failure.
+            SectionSpec(
+                key="dominance",
+                identity=("scenario",),
+                metrics=(
+                    MetricSpec("mpc_violation_seconds", "lower",
+                               zero_baseline="strict"),
+                    MetricSpec("mpc_energy_joules", "lower"),
+                ),
+            ),
         ),
     ),
 }

@@ -19,6 +19,8 @@ Usage::
     repro dashboard                 # run the scenario and render it live
     repro faults --machines 6       # fault campaign -> resilience.json
     repro faults --quick --seed 7   # two-scenario smoke campaign
+    repro mpc --machines 6          # MPC demand campaign -> mpc.json
+    repro mpc --quick --horizon 4   # shortened traces, 4-step lookahead
     repro serve --socket repro.sock # allocation daemon on a unix socket
     repro serve --port 7077 --model model.json  # ... over TCP, saved model
     repro serve --socket repro.sock --pods 24   # ... on a sharded index
@@ -89,7 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help="figure id (fig1..fig10, headline, algorithms), 'all', "
         "'list', 'profile', 'solve', 'index', 'metrics', 'trace', "
-        "'dashboard', 'faults', 'serve', 'top', or 'bench-check'",
+        "'dashboard', 'faults', 'mpc', 'serve', 'top', or 'bench-check'",
     )
     parser.add_argument(
         "--seed",
@@ -158,7 +160,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="run the two-scenario smoke campaign instead of the full "
-        "reference set (faults target only)",
+        "reference set (faults target), or time-compressed demand "
+        "traces (mpc target)",
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=6,
+        help="MPC lookahead depth in control intervals (mpc target only)",
     )
     parser.add_argument(
         "--scenario",
@@ -316,6 +325,13 @@ def build_parser() -> argparse.ArgumentParser:
         "benchmarks/results/serving.json when it exists)",
     )
     parser.add_argument(
+        "--mpc",
+        default=None,
+        help="MPC campaign document to render in the dashboard's MPC "
+        "section (dashboard target only; default "
+        "benchmarks/results/mpc.json when it exists)",
+    )
+    parser.add_argument(
         "--sim-engine",
         choices=("numpy", "python"),
         default="numpy",
@@ -387,7 +403,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.target == "list":
         for name in [*standalone, *contextual, "all", "profile", "solve",
                      "index", "report", "metrics", "trace", "dashboard",
-                     "faults", "serve", "top", "bench-check"]:
+                     "faults", "mpc", "serve", "top", "bench-check"]:
             print(name)
         return 0
 
@@ -575,6 +591,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"fault events written to {path}")
         return 0
 
+    if args.target == "mpc":
+        import pathlib
+
+        from repro.control import MPC_CONTROLLERS, run_mpc_campaign
+        from repro.obs.export import write_mpc
+
+        results, document = run_mpc_campaign(
+            seed=args.seed,
+            n_machines=args.machines,
+            quick=args.quick,
+            horizon=args.horizon,
+            sim_engine=args.sim_engine,
+        )
+        for entry in document["scenarios"]:
+            peak = entry["peak_load_fraction"]
+            tag = " [flash crowd]" if entry["flash_crowd"] else ""
+            print(
+                f"{entry['name']}{tag} "
+                f"(peak {peak:.0%} of capacity):"
+                if peak is not None
+                else f"{entry['name']}{tag}:"
+            )
+            for controller in MPC_CONTROLLERS:
+                row = entry["controllers"][controller]
+                overhead = row["energy_overhead_vs_oracle"]
+                print(
+                    f"  {controller:10s} "
+                    f"violation={row['violation_seconds']:7.0f} s "
+                    f"energy={row['energy_joules'] / 1e6:7.2f} MJ "
+                    f"moves={row['on_set_changes']:3d} "
+                    + (
+                        f"(+{overhead:.1%} vs oracle)"
+                        if overhead is not None and controller != "oracle"
+                        else ""
+                    )
+                )
+        for row in document["dominance"]:
+            if row["flash_crowd"]:
+                verdict = "yes" if row["dominates"] else "NO"
+                print(
+                    f"MPC dominates reactive on {row['scenario']}: "
+                    f"{verdict}"
+                )
+        out = pathlib.Path(args.out or "benchmarks/results/mpc.json")
+        write_mpc(out, document)
+        print(f"campaign document written to {out}")
+        return 0
+
     if args.target == "index":
         import time
 
@@ -664,17 +728,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.serving:
             print(f"no serving document at {serving_path}", file=sys.stderr)
             return 2
+        mpc = None
+        mpc_path = pathlib.Path(args.mpc or "benchmarks/results/mpc.json")
+        if mpc_path.exists():
+            mpc = json.loads(mpc_path.read_text())
+        elif args.mpc:
+            print(f"no mpc document at {mpc_path}", file=sys.stderr)
+            return 2
         if args.trace:
             buffer = TraceBuffer.from_jsonl(
                 pathlib.Path(args.trace).read_text()
             )
-            print(render_dashboard(buffer, serving=serving))
+            print(render_dashboard(buffer, serving=serving, mpc=mpc))
         else:
             buffer, wd = _run_traced_scenario(
                 args.seed, args.machines, args.load, args.policy,
                 sim_engine=args.sim_engine,
             )
-            print(render_dashboard(buffer, watchdog=wd, serving=serving))
+            print(render_dashboard(buffer, watchdog=wd, serving=serving,
+                                   mpc=mpc))
         return 0
 
     if args.target == "metrics":

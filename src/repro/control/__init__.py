@@ -1,0 +1,45 @@
+"""Receding-horizon control layer (extension beyond the paper).
+
+The paper's optimizer is open-loop for a steady throughput target and
+its runtime wrapper (:mod:`repro.core.controller`) is purely reactive:
+it re-plans *after* the load moves.  This subsystem closes the gap for
+time-varying demand:
+
+- :mod:`repro.control.plant` — :class:`LinearizedPlant`, the exact
+  discrete-time linear thermal model ``x+ = A x + B u + c`` extracted
+  from the RK4 transient engine by finite differences (the dynamics are
+  linear for a fixed on-mask, so the extraction is exact to roundoff);
+- :mod:`repro.control.mpc` — :class:`MPCController`, a receding-horizon
+  controller that solves an H-step lookahead LP over supply-air
+  temperatures (and pre-provisions the on-set from the demand forecast),
+  pre-cooling the room before surges the reactive controller can only
+  chase;
+- :mod:`repro.control.campaign` — the ``repro mpc`` campaign comparing
+  reactive vs MPC vs a clairvoyant oracle over diurnal, flash-crowd,
+  and derate scenarios, scored on energy, violation-seconds, and
+  reconfigurations.
+"""
+
+from repro.control.campaign import (
+    MPC_CONTROLLERS,
+    DemandScenario,
+    DemandLoopResult,
+    demand_scenarios,
+    run_demand_loop,
+    run_mpc_campaign,
+)
+from repro.control.mpc import HorizonSolution, MPCController
+from repro.control.plant import LinearizedPlant, PlantMatrices
+
+__all__ = [
+    "LinearizedPlant",
+    "PlantMatrices",
+    "MPCController",
+    "HorizonSolution",
+    "DemandScenario",
+    "DemandLoopResult",
+    "MPC_CONTROLLERS",
+    "demand_scenarios",
+    "run_demand_loop",
+    "run_mpc_campaign",
+]

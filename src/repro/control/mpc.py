@@ -1,0 +1,477 @@
+"""Receding-horizon MPC over the linearized thermal plant.
+
+The reactive :class:`~repro.core.controller.RuntimeController` re-plans
+*after* the offered load moves; with a demand forecast the controller
+can do better, because the room has thermal capacitance: cold air
+banked before a surge keeps CPU temperatures under ``T_max`` through
+the transient the reactive plan overshoots.  :class:`MPCController`
+adds exactly that lookahead:
+
+1. **Allocation (on-set size + throughput).**  The demand over the next
+   ``preprovision_steps`` control intervals is folded into the planning
+   target, so machines are powered on *before* a forecast surge arrives
+   and the throughput constraint (served load = offered load, capped at
+   surviving capacity) holds through it.  Allocation still flows
+   through the reactive machinery — hysteresis, minimum dwell, failure
+   exclusion — so MPC inherits every safety behavior of the base
+   controller.
+2. **Cooling (set-point trajectory).**  Over an ``H``-step horizon the
+   per-step allocations fix the per-node power vectors; CPU-temperature
+   trajectories are then *affine* in the supply-temperature sequence
+   ``u_1..u_H`` through the exact linear plant
+   (:class:`~repro.control.plant.LinearizedPlant`).  Minimizing total
+   cooling energy (Eq. 10: ``P_ac = c_f_ac * (T_SP - T_ac)`` with
+   ``T_SP`` affine in ``u`` via the actuation map) subject to the
+   thermal cap ``T_cpu <= T_max - margin`` at every step is a linear
+   program, solved with :func:`scipy.optimize.linprog` (HiGHS) and a
+   pure-numpy coordinate-sweep fallback when scipy is unavailable or
+   the solver errors out.
+3. **Warm start + graceful degradation.**  The previous horizon's
+   trajectory, shifted one step, seeds the sweep solver and serves as
+   the first fallback when the LP fails; if no trajectory is feasible
+   the controller keeps the reactive closed-form plan — it never drops
+   a valid plan on solver failure.
+
+Every solve emits ``mpc.*`` observability events and counters, and the
+commanded pre-cooling (supply colder than the closed-form optimum)
+is individually traceable (``mpc.precool``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.control.plant import LinearizedPlant
+from repro.core.controller import RuntimeController
+from repro.core.optimizer import JointOptimizer, OptimizationResult
+from repro.errors import ConfigurationError, InfeasibleError
+
+try:  # pragma: no cover - exercised via the fallback tests
+    from scipy.optimize import linprog as _linprog
+except Exception:  # pragma: no cover - scipy is available in CI
+    _linprog = None
+
+
+@dataclass(frozen=True)
+class HorizonSolution:
+    """One solved H-step lookahead (kept for introspection/tests)."""
+
+    time: float
+    t_ac: np.ndarray        # (H,) supply-temperature trajectory
+    objective: float        # modeled cooling energy over the horizon, J
+    solver: str             # "linprog" | "sweep" | "warm"
+    relaxed: bool           # True when the margin had to be dropped
+
+
+class MPCController(RuntimeController):
+    """Receding-horizon controller over trace-driven demand.
+
+    Parameters
+    ----------
+    optimizer:
+        The joint optimizer (allocation layer, as for the base class).
+    plant:
+        The :class:`LinearizedPlant` prediction model.  Its ``dt`` is
+        the control interval the horizon steps over.
+    forecast:
+        Demand forecast ``f(t) -> tasks/s`` (e.g. the replayed trace's
+        ``load_at``).  Without one the controller degenerates to the
+        reactive baseline: no pre-provisioning, no horizon solve.
+    horizon:
+        Lookahead depth ``H`` in control intervals.  ``H = 1`` disables
+        pre-provisioning and constrains only the next step — the
+        allocation decisions match the reactive controller exactly.
+    margin:
+        Thermal-cap back-off, K: the horizon enforces
+        ``T_cpu <= T_max - margin`` (absorbs linear-model vs actuation
+        mismatch).  On an infeasible horizon the margin is dropped to 0
+        before falling back.
+    preprovision_steps:
+        How many forecast steps feed the allocation target (default
+        ``min(2, horizon - 1)``).
+    """
+
+    def __init__(
+        self,
+        optimizer: JointOptimizer,
+        plant: LinearizedPlant,
+        forecast: Optional[Callable[[float], float]] = None,
+        horizon: int = 6,
+        margin: float = 0.5,
+        preprovision_steps: Optional[int] = None,
+        hysteresis: float = 0.15,
+        min_dwell: float = 600.0,
+        headroom: Optional[float] = None,
+    ) -> None:
+        super().__init__(
+            optimizer,
+            hysteresis=hysteresis,
+            min_dwell=min_dwell,
+            headroom=headroom,
+        )
+        if horizon < 1:
+            raise ConfigurationError(
+                f"horizon must be >= 1, got {horizon}"
+            )
+        if margin < 0.0:
+            raise ConfigurationError(
+                f"margin must be non-negative, got {margin}"
+            )
+        if plant.n != optimizer.model.node_count:
+            raise ConfigurationError(
+                f"plant has {plant.n} nodes but the model has "
+                f"{optimizer.model.node_count}"
+            )
+        if preprovision_steps is None:
+            preprovision_steps = min(2, horizon - 1)
+        if not 0 <= preprovision_steps < max(horizon, 1) + 1:
+            raise ConfigurationError(
+                f"preprovision_steps must be in [0, horizon], got "
+                f"{preprovision_steps}"
+            )
+        self.plant = plant
+        self.forecast = forecast
+        self.horizon = int(horizon)
+        self.margin = float(margin)
+        self.preprovision_steps = int(preprovision_steps)
+        self.control_dt = plant.dt
+        # Counters the campaign and tests read.
+        self.horizon_solves = 0
+        self.fallbacks = 0
+        self.warm_reuses = 0
+        self.precools = 0
+        self.last_horizon: Optional[HorizonSolution] = None
+        self._state: Optional[np.ndarray] = None
+        self._warm: Optional[np.ndarray] = None
+        self._allocation_memo: OrderedDict = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # Sensing
+    # ------------------------------------------------------------------ #
+
+    def observe_thermal_state(
+        self,
+        time: float,
+        t_cpu: np.ndarray,
+        t_box: np.ndarray,
+        t_room: float,
+    ) -> None:
+        """Feed the measured thermal state (room instrumentation).
+
+        The horizon solve predicts forward from this state; without at
+        least one observation the controller stays purely reactive.
+        """
+        self._state = LinearizedPlant.pack_state(t_cpu, t_box, t_room)
+
+    # ------------------------------------------------------------------ #
+    # Control step
+    # ------------------------------------------------------------------ #
+
+    def observe(
+        self, time: float, load: float
+    ) -> Optional[OptimizationResult]:
+        """One control step: allocation first, then the horizon solve."""
+        demand = load
+        capacity = self.surviving_capacity()
+        if self.forecast is not None and self.preprovision_steps > 0:
+            ahead = max(
+                float(self.forecast(time + h * self.control_dt))
+                for h in range(1, self.preprovision_steps + 1)
+            )
+            # Forecast beyond capacity must not raise: the headroom
+            # divisor keeps the pre-provisioning target within
+            # surviving capacity.
+            demand = max(load, min(ahead, capacity / self.headroom))
+        # Admission control: a flash crowd beyond surviving capacity is
+        # served at capacity (the surplus is shed at the balancer), so
+        # the horizon keeps planning — and pre-cooling — through the
+        # overload instead of freezing on an infeasible target.  The
+        # purely reactive base class raises InfeasibleError here and
+        # rides out the surge on its stale plan.
+        demand = min(demand, capacity)
+        result = super().observe(time, demand)
+        if (
+            self._plan is not None
+            and self._state is not None
+            and self.forecast is not None
+        ):
+            solved = self._optimize_horizon(time, load)
+            if solved is not None:
+                return self._plan
+        return result if result is None else self._plan
+
+    # ------------------------------------------------------------------ #
+    # Horizon assembly
+    # ------------------------------------------------------------------ #
+
+    def _allocation_for(self, target: float) -> Optional[OptimizationResult]:
+        """Memoized optimizer solve for a horizon-step target."""
+        key = (round(float(target), 3), frozenset(self.failed))
+        if key in self._allocation_memo:
+            self._allocation_memo.move_to_end(key)
+            return self._allocation_memo[key]
+        try:
+            plan = self.optimizer.solve(
+                float(target), exclude=sorted(self.failed)
+            )
+        except InfeasibleError:
+            plan = None
+        self._allocation_memo[key] = plan
+        if len(self._allocation_memo) > 512:
+            self._allocation_memo.popitem(last=False)
+        return plan
+
+    def _plan_inputs(
+        self, plan: OptimizationResult
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """(mask, fitted per-node powers, total server power) of a plan."""
+        model = self.optimizer.model
+        n = model.node_count
+        mask = np.zeros(n, dtype=bool)
+        powers = np.zeros(n)
+        for i in plan.on_ids:
+            mask[i] = True
+            powers[i] = model.power.power(float(plan.loads[i]))
+        return mask, powers, float(powers.sum())
+
+    def _optimize_horizon(
+        self, time: float, load: float
+    ) -> Optional[HorizonSolution]:
+        """Solve the H-step supply-temperature LP and adopt step one.
+
+        Returns the solution, or ``None`` when every path (LP, relaxed
+        LP, warm-shifted trajectory, coordinate sweep) failed — in which
+        case the reactive closed-form plan stays in force untouched.
+        """
+        model = self.optimizer.model
+        cooler = model.cooler
+        horizon = self.horizon
+        capacity = self.surviving_capacity()
+        with obs.timed("control/mpc_horizon"):
+            # Per-step allocations: the live plan covers step 1 (that is
+            # what will actually be commanded); forecast solves cover
+            # the rest.  An infeasible forecast step reuses the previous
+            # step's allocation rather than aborting the horizon.
+            plans = [self._plan]
+            for h in range(2, horizon + 1):
+                f = float(self.forecast(time + h * self.control_dt))
+                target = min(max(f, load) * self.headroom, capacity)
+                step_plan = self._allocation_for(max(target, 1e-6))
+                plans.append(step_plan if step_plan is not None else plans[-1])
+            masks, power_vecs, totals = [], [], []
+            for plan in plans:
+                mask, powers, total = self._plan_inputs(plan)
+                masks.append(mask)
+                power_vecs.append(powers)
+                totals.append(total)
+            rows, bounds_gap = self._constraint_rows(
+                masks, power_vecs
+            )
+            lo, hi = cooler.t_ac_min, cooler.t_ac_max
+            # Cost: per-step cooling power c_f_ac * (T_SP - u) with
+            # T_SP = offset + a_t * u + a_p * P  =>  the only u-dependent
+            # term is c_f_ac * (a_t - 1) * u, identical across steps.
+            coeff = cooler.c_f_ac * (cooler.actuation_t_ac - 1.0)
+            cost = np.full(horizon, coeff * self.control_dt)
+            solution: Optional[np.ndarray] = None
+            solver = "linprog"
+            relaxed = False
+            for slack in (0.0, self.margin):
+                trajectory = self._solve_lp(
+                    cost, rows, bounds_gap + slack, lo, hi
+                )
+                if trajectory is not None:
+                    solution = trajectory
+                    relaxed = slack > 0.0
+                    break
+            if solution is None and self._warm is not None:
+                shifted = np.append(self._warm[1:], self._warm[-1])
+                if self._feasible(rows, bounds_gap + self.margin, shifted):
+                    solution = shifted
+                    solver = "warm"
+                    self.warm_reuses += 1
+                    obs.count("mpc.warm_start_reuse")
+            if solution is None:
+                self.fallbacks += 1
+                obs.count("mpc.fallbacks")
+                obs.add_event(
+                    "mpc.fallback", time=time, offered_load=load,
+                    horizon=horizon,
+                )
+                return None
+            objective = float(
+                sum(
+                    cooler.cooling_power(
+                        cooler.set_point_for(float(u), totals[h]), float(u)
+                    ) * self.control_dt
+                    for h, u in enumerate(solution)
+                )
+            )
+            self._warm = np.asarray(solution, dtype=float)
+            self.horizon_solves += 1
+            obs.count("mpc.horizon_solves")
+            result = HorizonSolution(
+                time=time,
+                t_ac=self._warm.copy(),
+                objective=objective,
+                solver=solver,
+                relaxed=relaxed,
+            )
+            self.last_horizon = result
+            self._adopt_supply(time, float(solution[0]), totals[0])
+            obs.set_span_attributes(
+                horizon=horizon, solver=solver, relaxed=relaxed,
+                t_ac_next=float(solution[0]),
+            )
+            obs.add_event(
+                "mpc.solve", time=time, solver=solver,
+                t_ac_next=float(solution[0]), horizon=horizon,
+            )
+        return result
+
+    def _constraint_rows(
+        self, masks, power_vecs
+    ) -> tuple[list[tuple[np.ndarray, int]], np.ndarray]:
+        """Affine thermal-cap rows of the horizon.
+
+        Propagates ``x_h = base_h + sum_j S_hj u_j`` through the
+        per-step plant matrices and collects, for every step ``h`` and
+        every powered-on CPU ``i``, the row ``(coeffs over u, gap)``
+        with the constraint ``coeffs @ u <= gap`` where
+        ``gap = T_max - margin - base_h[i]``.
+
+        Returns ``(rows, gaps)`` with rows as a dense array pair:
+        ``rows[k]`` is the coefficient vector, ``gaps[k]`` its bound.
+        """
+        model = self.optimizer.model
+        horizon = len(masks)
+        cap = model.t_max - self.margin
+        base = self._state.copy()
+        cols: list[np.ndarray] = []
+        coeff_rows: list[np.ndarray] = []
+        gaps: list[float] = []
+        for h in range(horizon):
+            mats = self.plant.matrices(masks[h])
+            base = mats.a @ base + mats.b_power @ power_vecs[h] + mats.offset
+            for j in range(len(cols)):
+                cols[j] = mats.a @ cols[j]
+            cols.append(mats.b_supply.copy())
+            for i in np.flatnonzero(masks[h]):
+                row = np.zeros(horizon)
+                for j in range(h + 1):
+                    row[j] = cols[j][i]
+                coeff_rows.append(row)
+                gaps.append(cap - base[i])
+        if not coeff_rows:
+            return [], np.zeros(0)
+        return (
+            list(np.asarray(coeff_rows)),
+            np.asarray(gaps, dtype=float),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Solvers
+    # ------------------------------------------------------------------ #
+
+    def _solve_lp(
+        self,
+        cost: np.ndarray,
+        rows,
+        gaps: np.ndarray,
+        lo: float,
+        hi: float,
+    ) -> Optional[np.ndarray]:
+        """The horizon LP via scipy (HiGHS), else the coordinate sweep."""
+        horizon = len(cost)
+        if _linprog is not None:
+            try:
+                a_ub = np.asarray(rows) if len(rows) else None
+                b_ub = gaps if len(rows) else None
+                solved = _linprog(
+                    cost, A_ub=a_ub, b_ub=b_ub,
+                    bounds=[(lo, hi)] * horizon, method="highs",
+                )
+            except Exception:
+                solved = None
+            if solved is not None and solved.success:
+                return np.asarray(solved.x, dtype=float)
+            if solved is not None and not solved.success:
+                return self._solve_sweep(rows, gaps, lo, hi)
+            return self._solve_sweep(rows, gaps, lo, hi)
+        return self._solve_sweep(rows, gaps, lo, hi)
+
+    def _solve_sweep(
+        self, rows, gaps: np.ndarray, lo: float, hi: float
+    ) -> Optional[np.ndarray]:
+        """Pure-numpy fallback: coordinate sweeps toward the warmest
+        feasible trajectory (optimal when warmer supply is cheaper,
+        which Eq. 10 with an increasing actuation slope < 1 implies;
+        merely feasible otherwise)."""
+        horizon = self.horizon
+        start = (
+            np.append(self._warm[1:], self._warm[-1])
+            if self._warm is not None and len(self._warm) == horizon
+            else np.full(horizon, hi)
+        )
+        u = np.clip(start, lo, hi)
+        if not rows:
+            return u
+        a = np.asarray(rows)
+        for _ in range(3):
+            for j in range(horizon):
+                others = a @ u - a[:, j] * u[j]
+                upper, lower = hi, lo
+                for r in range(a.shape[0]):
+                    c = a[r, j]
+                    if abs(c) < 1e-12:
+                        continue
+                    limit = (gaps[r] - others[r]) / c
+                    if c > 0.0:
+                        upper = min(upper, limit)
+                    else:
+                        lower = max(lower, limit)
+                if lower > upper + 1e-9:
+                    return None
+                u[j] = min(max(upper, lo), hi)
+                if u[j] < lower - 1e-9:
+                    return None
+        if np.all(a @ u <= gaps + 1e-6):
+            return u
+        return None
+
+    @staticmethod
+    def _feasible(rows, gaps: np.ndarray, u: np.ndarray) -> bool:
+        if not rows:
+            return True
+        return bool(np.all(np.asarray(rows) @ u <= gaps + 1e-6))
+
+    # ------------------------------------------------------------------ #
+    # Plan adoption
+    # ------------------------------------------------------------------ #
+
+    def _adopt_supply(
+        self, time: float, t_ac: float, server_power: float
+    ) -> None:
+        """Swap the horizon's step-one supply temperature into the
+        active plan (allocation untouched)."""
+        cooler = self.optimizer.model.cooler
+        t_ac = cooler.clamp_t_ac(t_ac)
+        plan = self._plan
+        if abs(t_ac - plan.t_ac) <= 1e-9:
+            return
+        if t_ac < plan.t_ac - 0.05:
+            # Colder than the steady-state optimum: banking cold air
+            # ahead of a forecast surge.
+            self.precools += 1
+            obs.count("mpc.precools")
+            obs.add_event(
+                "mpc.precool", time=time,
+                t_ac=t_ac, t_ac_steady=plan.t_ac,
+            )
+        t_sp = cooler.set_point_for(t_ac, server_power)
+        self._plan = replace(plan, t_ac=t_ac, t_sp=t_sp)

@@ -368,10 +368,11 @@ class RuntimeController:
         of selection queries can be answered in one
         :meth:`~repro.core.consolidation.ConsolidationIndex.query_many`
         batch up front; the replay's re-plans then hit the query memo.
-        Only meaningful on the index selection path with healthy
-        hardware (exclusions bypass the index entirely).
+        Only meaningful on the indexed selection paths (monolithic or
+        pod-sharded) with healthy hardware (exclusions bypass the index
+        entirely).
         """
-        if self.optimizer.selection != "index" or self.failed:
+        if self.optimizer.selection not in ("index", "sharded") or self.failed:
             return
         capacity = sum(self.optimizer.model.capacities)
         targets = set()
@@ -384,7 +385,7 @@ class RuntimeController:
         if not targets:
             return
         with obs.timed("controller/prefetch"):
-            self.optimizer.index.query_many(
+            self.optimizer.query_index.query_many(
                 sorted(targets), skip_infeasible=True
             )
             obs.set_span_attributes(targets=len(targets))

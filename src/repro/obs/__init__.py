@@ -31,11 +31,13 @@ from repro.obs.export import (
     render_prometheus,
     validate_bench_observability,
     validate_consolidation_scale,
+    validate_mpc,
     validate_prometheus,
     validate_resilience,
     validate_serving,
     validate_simulation_speed,
     write_bench_observability,
+    write_mpc,
     write_resilience,
     write_serving,
 )
@@ -137,9 +139,11 @@ __all__ = [
     "write_bench_observability",
     "validate_bench_observability",
     "validate_consolidation_scale",
+    "validate_mpc",
     "validate_resilience",
     "validate_serving",
     "validate_simulation_speed",
+    "write_mpc",
     "write_resilience",
     "write_serving",
     "render_prometheus",

@@ -765,6 +765,265 @@ def write_serving(
     return target
 
 
+#: Controllers every MPC-campaign scenario must report.
+_MPC_CONTROLLERS = ("reactive", "resilient", "mpc", "oracle")
+
+#: Metric keys every per-controller MPC row must carry.
+_MPC_ROW_KEYS = (
+    "violation_seconds", "energy_joules", "energy_overhead_vs_oracle",
+    "offered_task_seconds", "served_task_seconds", "shed_task_seconds",
+    "reconfigurations", "suppressed", "on_set_changes", "max_t_cpu",
+    "horizon_solves", "fallbacks", "precools",
+)
+
+#: Keys every dominance row must carry.
+_MPC_DOMINANCE_KEYS = (
+    "scenario", "flash_crowd", "mpc_violation_seconds",
+    "reactive_violation_seconds", "mpc_energy_joules",
+    "reactive_energy_joules", "dominates",
+)
+
+
+def validate_mpc(document: Mapping) -> None:
+    """Raise :class:`ConfigurationError` unless ``document`` is a valid
+    MPC-campaign record.
+
+    Shape (written by ``repro mpc`` / ``benchmarks/bench_mpc.py`` to
+    ``benchmarks/results/mpc.json``; built by
+    :func:`repro.control.campaign.run_mpc_campaign`)::
+
+        {
+          "schema": 1,
+          "kind": "mpc",
+          "seed": <int>, "machines": <int>, "horizon": <int>,
+          "control_dt": <s>, "sim_dt": <s>,
+          "entries": [            # flat per-(scenario, controller) rows
+            {
+              "scenario": <str>,
+              "controller": "reactive"|"resilient"|"mpc"|"oracle",
+              "violation_seconds": <s>, "energy_joules": <J>,
+              "energy_overhead_vs_oracle": <ratio> | null,
+              "offered_task_seconds": <task*s>,
+              "served_task_seconds": <task*s>,
+              "shed_task_seconds": <task*s>,
+              "reconfigurations": <int>, "suppressed": <int>,
+              "on_set_changes": <int>, "max_t_cpu": <K>,
+              "horizon_solves": <int>, "fallbacks": <int>,
+              "precools": <int>
+            }, ...
+          ],
+          "scenarios": [
+            {
+              "name": <str>, "description": <str>,
+              "flash_crowd": <bool>, "duration": <s>,
+              "peak_load_fraction": <float> | null,
+              "controllers": {"reactive": {...}, "resilient": {...},
+                              "mpc": {...}, "oracle": {...}}
+            }, ...
+          ],
+          "dominance": [          # the acceptance gate, one per scenario
+            {
+              "scenario": <str>, "flash_crowd": <bool>,
+              "mpc_violation_seconds": <s>,
+              "reactive_violation_seconds": <s>,
+              "mpc_energy_joules": <J>, "reactive_energy_joules": <J>,
+              "dominates": <bool>
+            }, ...
+          ]
+        }
+
+    The validator checks *consistency*, not the gate itself: every
+    scenario carries all four controller rows, every dominance row's
+    ``dominates`` flag agrees with its own numbers (strictly fewer
+    violation-seconds at equal-or-lower energy), and the flat
+    ``entries`` cover exactly the scenario/controller product.  Whether
+    some flash-crowd row actually dominates is the *bench/CI* gate
+    (``benchmarks/bench_mpc.py``), not a schema property.
+    """
+    if not isinstance(document, Mapping):
+        raise ConfigurationError("mpc document must be a mapping")
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported mpc schema {document.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    if document.get("kind") != "mpc":
+        raise ConfigurationError(
+            f"not an mpc record (kind={document.get('kind')!r})"
+        )
+    for key in ("seed", "machines", "horizon"):
+        if not isinstance(document.get(key), int):
+            raise ConfigurationError(f"{key!r} must be an int")
+    if document["machines"] < 1 or document["horizon"] < 1:
+        raise ConfigurationError(
+            "'machines' and 'horizon' must be positive"
+        )
+    for key in ("control_dt", "sim_dt"):
+        value = document.get(key)
+        if not isinstance(value, (int, float)) or value <= 0.0:
+            raise ConfigurationError(f"{key!r} must be a positive number")
+    scenarios = document.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        raise ConfigurationError("'scenarios' must be a non-empty list")
+    names = []
+    for scenario in scenarios:
+        if not isinstance(scenario, Mapping):
+            raise ConfigurationError("each scenario must be a map")
+        name = scenario.get("name")
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(
+                "scenario 'name' must be a non-empty str"
+            )
+        names.append(name)
+        if not isinstance(scenario.get("flash_crowd"), bool):
+            raise ConfigurationError(
+                f"scenario {name!r} 'flash_crowd' must be a bool"
+            )
+        duration = scenario.get("duration")
+        if not isinstance(duration, (int, float)) or duration <= 0.0:
+            raise ConfigurationError(
+                f"scenario {name!r} duration must be positive"
+            )
+        peak = scenario.get("peak_load_fraction")
+        if peak is not None and (
+            not isinstance(peak, (int, float)) or peak <= 0.0
+        ):
+            raise ConfigurationError(
+                f"scenario {name!r} 'peak_load_fraction' must be a "
+                "positive number or null"
+            )
+        controllers = scenario.get("controllers")
+        if not isinstance(controllers, Mapping):
+            raise ConfigurationError(
+                f"scenario {name!r} 'controllers' map missing"
+            )
+        missing = [c for c in _MPC_CONTROLLERS if c not in controllers]
+        if missing:
+            raise ConfigurationError(
+                f"scenario {name!r} missing controllers {missing}"
+            )
+        for controller, row in controllers.items():
+            _validate_mpc_row(f"{name}/{controller}", row)
+    if len(set(names)) != len(names):
+        raise ConfigurationError("scenario names must be unique")
+    entries = document.get("entries")
+    if not isinstance(entries, list):
+        raise ConfigurationError("'entries' must be a list")
+    seen = set()
+    for entry in entries:
+        if not isinstance(entry, Mapping):
+            raise ConfigurationError("each entry must be a map")
+        scenario = entry.get("scenario")
+        controller = entry.get("controller")
+        if scenario not in names:
+            raise ConfigurationError(
+                f"entry references unknown scenario {scenario!r}"
+            )
+        if controller not in _MPC_CONTROLLERS:
+            raise ConfigurationError(
+                f"entry references unknown controller {controller!r}"
+            )
+        _validate_mpc_row(f"entries[{scenario}/{controller}]", entry)
+        seen.add((scenario, controller))
+    expected = {
+        (name, controller)
+        for name in names
+        for controller in _MPC_CONTROLLERS
+    }
+    if seen != expected:
+        raise ConfigurationError(
+            "'entries' must cover exactly the scenario x controller "
+            f"product (missing {sorted(expected - seen)}, "
+            f"extra {sorted(seen - expected)})"
+        )
+    dominance = document.get("dominance")
+    if not isinstance(dominance, list) or len(dominance) != len(names):
+        raise ConfigurationError(
+            "'dominance' must list one row per scenario"
+        )
+    for row in dominance:
+        if not isinstance(row, Mapping):
+            raise ConfigurationError("each dominance row must be a map")
+        missing = [k for k in _MPC_DOMINANCE_KEYS if k not in row]
+        if missing:
+            raise ConfigurationError(f"dominance row missing {missing}")
+        if row["scenario"] not in names:
+            raise ConfigurationError(
+                f"dominance row references unknown scenario "
+                f"{row['scenario']!r}"
+            )
+        for key in ("mpc_violation_seconds", "reactive_violation_seconds",
+                    "mpc_energy_joules", "reactive_energy_joules"):
+            value = row[key]
+            if not isinstance(value, (int, float)) or value < 0.0:
+                raise ConfigurationError(
+                    f"dominance {key!r} must be a non-negative number"
+                )
+        if not isinstance(row["flash_crowd"], bool) or not isinstance(
+            row["dominates"], bool
+        ):
+            raise ConfigurationError(
+                "dominance 'flash_crowd' and 'dominates' must be bools"
+            )
+        implied = (
+            row["mpc_violation_seconds"] < row["reactive_violation_seconds"]
+            and row["mpc_energy_joules"] <= row["reactive_energy_joules"]
+        )
+        if row["dominates"] != implied:
+            raise ConfigurationError(
+                f"dominance row {row['scenario']!r}: 'dominates' flag "
+                "disagrees with its own numbers"
+            )
+
+
+def _validate_mpc_row(label: str, row: Mapping) -> None:
+    if not isinstance(row, Mapping):
+        raise ConfigurationError(f"{label} row must be a map")
+    absent = [k for k in _MPC_ROW_KEYS if k not in row]
+    if absent:
+        raise ConfigurationError(f"{label} row missing {absent}")
+    for key in ("violation_seconds", "energy_joules",
+                "offered_task_seconds", "served_task_seconds",
+                "shed_task_seconds"):
+        value = row[key]
+        if not isinstance(value, (int, float)) or value < 0.0:
+            raise ConfigurationError(
+                f"{label} {key!r} must be a non-negative number"
+            )
+    for key in ("reconfigurations", "suppressed", "on_set_changes",
+                "horizon_solves", "fallbacks", "precools"):
+        value = row[key]
+        if not isinstance(value, int) or value < 0:
+            raise ConfigurationError(
+                f"{label} {key!r} must be a non-negative int"
+            )
+    if not isinstance(row["max_t_cpu"], (int, float)):
+        raise ConfigurationError(f"{label} 'max_t_cpu' must be numeric")
+    overhead = row["energy_overhead_vs_oracle"]
+    if overhead is not None and not isinstance(overhead, (int, float)):
+        raise ConfigurationError(
+            f"{label} 'energy_overhead_vs_oracle' must be numeric or null"
+        )
+    if (
+        row["served_task_seconds"]
+        > row["offered_task_seconds"] + 1e-6
+    ):
+        raise ConfigurationError(
+            f"{label}: served task-seconds exceed offered"
+        )
+
+
+def write_mpc(
+    path: Union[str, pathlib.Path], document: Mapping
+) -> pathlib.Path:
+    """Validate and write an MPC-campaign document to ``path``."""
+    target = pathlib.Path(path)
+    validate_mpc(document)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return target
+
+
 # ---------------------------------------------------------------------- #
 # Prometheus text exposition
 # ---------------------------------------------------------------------- #

@@ -17,8 +17,12 @@ from repro.workload.cluster import Cluster, Server, ServerState
 from repro.workload.tasks import Task, TaskGenerator
 from repro.workload.traces import (
     LoadTrace,
+    clamped_trace,
     constant_trace,
     diurnal_trace,
+    flash_crowd_trace,
+    noisy_trace,
+    overlay_traces,
     ramp_trace,
     step_trace,
 )
@@ -36,4 +40,8 @@ __all__ = [
     "step_trace",
     "diurnal_trace",
     "ramp_trace",
+    "flash_crowd_trace",
+    "overlay_traces",
+    "noisy_trace",
+    "clamped_trace",
 ]

@@ -482,3 +482,195 @@ class TestServingSchema:
         )
         with pytest.raises(ConfigurationError):
             obs.validate_serving(both_batched)
+
+
+_MPC_CONTROLLER_NAMES = ("reactive", "resilient", "mpc", "oracle")
+
+
+def _mpc_row(**overrides):
+    row = {
+        "violation_seconds": 0.0, "energy_joules": 3.3e7,
+        "energy_overhead_vs_oracle": 0.01,
+        "offered_task_seconds": 8.0e5, "served_task_seconds": 7.9e5,
+        "shed_task_seconds": 1.0e4, "reconfigurations": 4,
+        "suppressed": 1, "on_set_changes": 2, "max_t_cpu": 341.8,
+        "horizon_solves": 80, "fallbacks": 0, "precools": 7,
+    }
+    row.update(overrides)
+    return row
+
+
+def _mpc_document(**row_overrides):
+    controllers = {}
+    entries = []
+    for name in _MPC_CONTROLLER_NAMES:
+        row = _mpc_row(
+            **(row_overrides if name == "mpc" else {}),
+            **({"violation_seconds": 596.0} if name == "reactive" else {}),
+        )
+        if name == "oracle":
+            row["energy_overhead_vs_oracle"] = 0.0
+        controllers[name] = row
+        entries.append({"scenario": "flash-crowd", "controller": name,
+                        **row})
+    mpc_viol = controllers["mpc"]["violation_seconds"]
+    mpc_energy = controllers["mpc"]["energy_joules"]
+    try:
+        dominates = bool(mpc_viol < 596.0 and mpc_energy <= 3.34e7)
+    except TypeError:
+        dominates = False  # a mutated row; the validator rejects earlier
+    return {
+        "schema": obs.SCHEMA_VERSION,
+        "kind": "mpc",
+        "seed": 2012,
+        "machines": 6,
+        "horizon": 6,
+        "control_dt": 60.0,
+        "sim_dt": 2.0,
+        "entries": entries,
+        "scenarios": [
+            {
+                "name": "flash-crowd",
+                "description": "surge over a steady base",
+                "flash_crowd": True,
+                "duration": 5400.0,
+                "peak_load_fraction": 1.3,
+                "controllers": controllers,
+            }
+        ],
+        "dominance": [
+            {
+                "scenario": "flash-crowd",
+                "flash_crowd": True,
+                "mpc_violation_seconds": mpc_viol,
+                "reactive_violation_seconds": 596.0,
+                "mpc_energy_joules": mpc_energy,
+                "reactive_energy_joules": 3.34e7,
+                "dominates": dominates,
+            }
+        ],
+    }
+
+
+class TestMpcSchema:
+    def test_fresh_document_validates(self):
+        obs.validate_mpc(_mpc_document())
+
+    def test_existing_mpc_artifact_validates(self):
+        path = RESULTS_DIR / "mpc.json"
+        if not path.exists():
+            pytest.skip("no mpc artifact present")
+        obs.validate_mpc(json.loads(path.read_text()))
+
+    def test_committed_baseline_validates_and_dominates(self):
+        path = RESULTS_DIR.parent / "baselines" / "mpc.json"
+        if not path.exists():
+            pytest.skip("no mpc baseline present")
+        document = json.loads(path.read_text())
+        obs.validate_mpc(document)
+        flash = [r for r in document["dominance"] if r["flash_crowd"]]
+        assert flash and any(r["dominates"] for r in flash)
+
+    def test_write_mpc_round_trips(self, tmp_path):
+        document = _mpc_document()
+        path = obs.write_mpc(tmp_path / "mpc.json", document)
+        assert json.loads(path.read_text()) == document
+
+    def test_write_mpc_refuses_invalid_documents(self, tmp_path):
+        document = _mpc_document()
+        document["kind"] = "wrong"
+        with pytest.raises(ConfigurationError):
+            obs.write_mpc(tmp_path / "mpc.json", document)
+        assert not (tmp_path / "mpc.json").exists()
+
+    def test_null_oracle_overhead_validates(self):
+        document = _mpc_document()
+        for name in _MPC_CONTROLLER_NAMES:
+            document["scenarios"][0]["controllers"][name][
+                "energy_overhead_vs_oracle"
+            ] = None
+        for entry in document["entries"]:
+            entry["energy_overhead_vs_oracle"] = None
+        obs.validate_mpc(document)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            {"schema": 99},
+            {"kind": "resilience"},
+            {"seed": "2012"},
+            {"machines": 0},
+            {"horizon": 0},
+            {"control_dt": 0.0},
+            {"sim_dt": -1.0},
+            {"scenarios": []},
+            {"scenarios": ["not a map"]},
+            {"entries": "not a list"},
+            {"dominance": []},
+        ],
+        ids=["schema", "kind", "seed", "machines", "horizon",
+             "control-dt", "sim-dt", "empty-scenarios", "scenario-type",
+             "entries-type", "dominance-count"],
+    )
+    def test_rejects_malformed_documents(self, mutate):
+        document = _mpc_document()
+        document.update(mutate)
+        with pytest.raises(ConfigurationError):
+            obs.validate_mpc(document)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"violation_seconds": -1.0},
+            {"energy_joules": "cheap"},
+            {"reconfigurations": -1},
+            {"horizon_solves": 1.5},
+            {"max_t_cpu": None},
+            {"energy_overhead_vs_oracle": "low"},
+            # served work cannot exceed offered work
+            {"served_task_seconds": 9.0e5},
+        ],
+        ids=["violation-neg", "energy-type", "reconf-neg",
+             "solves-type", "max-t-type", "overhead-type",
+             "served-above-offered"],
+    )
+    def test_rejects_malformed_rows(self, overrides):
+        with pytest.raises(ConfigurationError):
+            obs.validate_mpc(_mpc_document(**overrides))
+
+    def test_rejects_missing_controller(self):
+        document = _mpc_document()
+        del document["scenarios"][0]["controllers"]["oracle"]
+        with pytest.raises(ConfigurationError, match="missing"):
+            obs.validate_mpc(document)
+
+    def test_rejects_missing_row_keys(self):
+        document = _mpc_document()
+        del document["scenarios"][0]["controllers"]["mpc"]["precools"]
+        with pytest.raises(ConfigurationError, match="missing"):
+            obs.validate_mpc(document)
+
+    def test_rejects_incomplete_entry_product(self):
+        document = _mpc_document()
+        del document["entries"][0]
+        with pytest.raises(ConfigurationError, match="product"):
+            obs.validate_mpc(document)
+
+    def test_rejects_unknown_entry_scenario(self):
+        document = _mpc_document()
+        document["entries"][0]["scenario"] = "ghost"
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            obs.validate_mpc(document)
+
+    def test_rejects_inconsistent_dominance_flag(self):
+        document = _mpc_document()
+        document["dominance"][0]["dominates"] = False
+        with pytest.raises(ConfigurationError, match="disagrees"):
+            obs.validate_mpc(document)
+
+    def test_rejects_duplicate_scenario_names(self):
+        document = _mpc_document()
+        clone = dict(document["scenarios"][0])
+        document["scenarios"].append(clone)
+        with pytest.raises(ConfigurationError, match="unique"):
+            obs.validate_mpc(document)

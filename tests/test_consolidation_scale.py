@@ -512,6 +512,27 @@ class TestControllerPrefetch:
         # Every replanned selection was answered from the warmed memo.
         assert counters["consolidation.query_memo_hits"] >= len(warmed)
 
+    def test_prefetch_warms_sharded_index(self):
+        # Regression: _prefetch_trace used to bail on selection="sharded"
+        # even though the pod-sharded index answers query_many and keeps
+        # the same result memo — the scaled replay path lost its warmup.
+        optimizer = JointOptimizer(
+            make_system_model(n=10), selection="sharded", pods=2
+        )
+        controller = RuntimeController(
+            optimizer, hysteresis=0.15, min_dwell=600.0
+        )
+        trace = step_trace([50.0, 200.0, 80.0, 300.0], dwell=3600.0)
+        registry = obs.enable(MetricsRegistry())
+        try:
+            events = controller.run_trace(trace, dt=300.0, prefetch=True)
+        finally:
+            obs.disable()
+        counters = registry.snapshot()["counters"]
+        assert counters["sharding.query_many_queries"] > 0
+        # Every replanned selection was answered from the warmed memo.
+        assert counters["sharding.query_memo_hits"] >= len(events)
+
     def test_prefetch_skipped_off_the_index_path(self):
         optimizer = JointOptimizer(
             make_system_model(n=6), selection="exact"

@@ -4,9 +4,9 @@ Docs rot silently; these tests keep the load-bearing parts honest: the
 module map in DESIGN.md must list only files that exist, the README
 quickstart must actually run, the per-experiment index must point at
 real bench files, and **every fenced python block** in docs/api.md,
-docs/observability.md, docs/resilience.md, docs/algorithms.md, and
-docs/serving.md executes — cumulatively, top to bottom, the way a
-reader would paste them into one session.
+docs/observability.md, docs/resilience.md, docs/algorithms.md,
+docs/serving.md, and docs/control.md executes — cumulatively, top to
+bottom, the way a reader would paste them into one session.
 """
 
 import pathlib
@@ -260,6 +260,43 @@ class TestServingDocument:
     def test_linked_from_readme_and_api(self):
         assert "docs/serving.md" in (REPO / "README.md").read_text()
         assert "serving.md" in (REPO / "docs" / "api.md").read_text()
+
+
+class TestControlDocument:
+    def test_every_python_block_executes(self, tmp_path, monkeypatch):
+        run_document_blocks(
+            REPO / "docs" / "control.md", tmp_path, monkeypatch
+        )
+
+    def test_documented_surface_exists(self):
+        import repro.control as control
+        import repro.workload.traces as traces
+        from repro import obs
+
+        text = (REPO / "docs" / "control.md").read_text()
+        for name in ("LinearizedPlant", "MPCController",
+                     "run_mpc_campaign", "demand_scenarios"):
+            assert name in text, name
+            assert hasattr(control, name), name
+        for name in ("flash_crowd_trace", "overlay_traces",
+                     "noisy_trace", "clamped_trace"):
+            assert name in text, name
+            assert hasattr(traces, name), name
+        assert "validate_mpc" in text and obs.validate_mpc
+        assert "write_mpc" in text and obs.write_mpc
+
+    def test_documented_campaign_controllers_match_code(self):
+        from repro.control import MPC_CONTROLLERS
+
+        text = (REPO / "docs" / "control.md").read_text()
+        for name in MPC_CONTROLLERS:
+            assert f"`{name}`" in text, name
+        assert "repro mpc" in text
+        assert "bench-check" in text
+
+    def test_linked_from_readme_and_api(self):
+        assert "docs/control.md" in (REPO / "README.md").read_text()
+        assert "control.md" in (REPO / "docs" / "api.md").read_text()
 
 
 class TestReadmeTableOfContents:

@@ -5,8 +5,12 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.workload.traces import (
+    clamped_trace,
     constant_trace,
     diurnal_trace,
+    flash_crowd_trace,
+    noisy_trace,
+    overlay_traces,
     ramp_trace,
     step_trace,
 )
@@ -72,6 +76,180 @@ class TestDiurnal:
     def test_peak_helper(self):
         trace = diurnal_trace(base=100.0, peak=500.0)
         assert trace.peak(dt=60.0) == pytest.approx(500.0, rel=1e-3)
+
+
+class TestDiurnalNoiseDeterminism:
+    """Noise must be a pure function of (seed, bucket), not rng state."""
+
+    def test_repeated_load_at_calls_agree(self):
+        trace = diurnal_trace(
+            base=100.0, peak=500.0, noise_std=20.0,
+            rng=np.random.default_rng(7),
+        )
+        t = 12345.0
+        first = trace.load_at(t)
+        # A stateful implementation would advance the generator here and
+        # return a different draw on the second call.
+        assert trace.load_at(t) == first
+        assert trace.load_at(t) == first
+
+    def test_same_seed_same_trace(self):
+        a = diurnal_trace(base=100.0, peak=500.0, noise_std=20.0,
+                          rng=np.random.default_rng(7))
+        b = diurnal_trace(base=100.0, peak=500.0, noise_std=20.0,
+                          rng=np.random.default_rng(7))
+        times = np.linspace(0.0, 86400.0, 101)
+        np.testing.assert_array_equal(a.values_at(times), b.values_at(times))
+
+    def test_different_seeds_differ(self):
+        a = diurnal_trace(base=100.0, peak=500.0, noise_std=20.0,
+                          rng=np.random.default_rng(7))
+        b = diurnal_trace(base=100.0, peak=500.0, noise_std=20.0,
+                          rng=np.random.default_rng(8))
+        times = np.linspace(0.0, 86400.0, 101)
+        assert not np.array_equal(a.values_at(times), b.values_at(times))
+
+    def test_noise_constant_within_bucket(self):
+        trace = diurnal_trace(
+            base=300.0, peak=300.0, noise_std=20.0,
+            rng=np.random.default_rng(7), noise_dt=60.0,
+        )
+        # A flat sinusoid isolates the jitter: both instants share the
+        # t // 60 bucket so they must see the same draw.
+        assert trace.load_at(120.0) == pytest.approx(trace.load_at(179.9))
+
+
+class TestVectorizedSampling:
+    """sample()/values_at must agree with the scalar profile pointwise."""
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: constant_trace(120.0, duration=3600.0),
+            lambda: step_trace([10.0, 20.0, 5.0], dwell=500.0),
+            lambda: ramp_trace(0.0, 100.0, duration=3600.0),
+            lambda: diurnal_trace(base=100.0, peak=500.0, duration=3600.0,
+                                  noise_std=15.0,
+                                  rng=np.random.default_rng(3)),
+            lambda: flash_crowd_trace(base=50.0, spike=200.0, onset=600.0,
+                                      duration=3600.0, decay=300.0,
+                                      rise=30.0),
+            lambda: overlay_traces(
+                constant_trace(40.0, duration=3600.0),
+                flash_crowd_trace(base=0.0, spike=90.0, onset=900.0,
+                                  duration=3600.0),
+            ),
+            lambda: noisy_trace(ramp_trace(0.0, 50.0, 3600.0),
+                                noise_std=4.0, seed=99),
+            lambda: clamped_trace(ramp_trace(0.0, 300.0, 3600.0),
+                                  ceiling=200.0, floor=10.0),
+        ],
+        ids=["constant", "step", "ramp", "diurnal", "flash", "overlay",
+             "noisy", "clamped"],
+    )
+    def test_vectorized_matches_scalar(self, maker):
+        trace = maker()
+        samples = trace.sample(dt=61.0)
+        times = np.arange(0.0, trace.duration + 1e-9, 61.0)
+        scalar = np.array([trace.load_at(t) for t in times])
+        np.testing.assert_allclose(samples, scalar, rtol=0, atol=1e-12)
+
+
+class TestPeak:
+    def test_refinement_recovers_narrow_spike(self):
+        # 30 s rise on a 600 s grid: the coarse pass lands on the
+        # spike's flank, refinement walks to the summit.
+        trace = flash_crowd_trace(
+            base=100.0, spike=400.0, onset=1000.0, duration=7200.0,
+            decay=120.0, rise=30.0,
+        )
+        coarse = trace.peak(dt=600.0, refine=False)
+        refined = trace.peak(dt=600.0)
+        assert refined > coarse
+        assert refined == pytest.approx(500.0, rel=0.01)
+
+    def test_documented_miss_without_refinement(self):
+        trace = flash_crowd_trace(
+            base=100.0, spike=400.0, onset=1000.0, duration=7200.0,
+            decay=120.0, rise=30.0,
+        )
+        # The honesty contract: refine=False reports only the grid max.
+        assert trace.peak(dt=600.0, refine=False) < 500.0
+
+
+class TestFlashCrowd:
+    def test_shape(self):
+        trace = flash_crowd_trace(
+            base=50.0, spike=200.0, onset=600.0, duration=3600.0,
+            decay=300.0, rise=60.0,
+        )
+        assert trace.load_at(0.0) == pytest.approx(50.0)
+        assert trace.load_at(599.9) == pytest.approx(50.0)
+        assert trace.load_at(660.0) == pytest.approx(250.0)
+        # One decay constant past the crest: base + spike / e.
+        assert trace.load_at(960.0) == pytest.approx(
+            50.0 + 200.0 * np.exp(-1.0), rel=1e-6
+        )
+
+    def test_rejects_onset_outside_duration(self):
+        with pytest.raises(ConfigurationError):
+            flash_crowd_trace(base=1.0, spike=1.0, onset=100.0,
+                              duration=100.0)
+
+    def test_rejects_nonpositive_spike(self):
+        with pytest.raises(ConfigurationError):
+            flash_crowd_trace(base=1.0, spike=0.0, onset=0.0,
+                              duration=100.0)
+
+
+class TestCompositors:
+    def test_overlay_sums_and_spans_longest(self):
+        a = constant_trace(10.0, duration=100.0)
+        b = ramp_trace(0.0, 50.0, duration=200.0)
+        both = overlay_traces(a, b)
+        assert both.duration == pytest.approx(200.0)
+        assert both.load_at(50.0) == pytest.approx(10.0 + 12.5)
+        # Past a's duration its clamped (last) value still contributes.
+        assert both.load_at(200.0) == pytest.approx(10.0 + 50.0)
+
+    def test_overlay_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            overlay_traces()
+
+    def test_noisy_trace_deterministic_per_seed(self):
+        base = constant_trace(100.0, duration=3600.0)
+        a = noisy_trace(base, noise_std=10.0, seed=42)
+        b = noisy_trace(base, noise_std=10.0, seed=42)
+        times = np.linspace(0.0, 3600.0, 61)
+        np.testing.assert_array_equal(a.values_at(times), b.values_at(times))
+        assert a.load_at(100.0) == a.load_at(100.0)
+
+    def test_noisy_trace_never_negative(self):
+        trace = noisy_trace(
+            constant_trace(0.1, duration=3600.0), noise_std=50.0, seed=1
+        )
+        assert trace.sample(dt=10.0).min() >= 0.0
+
+    def test_clamped_trace_clips_both_sides(self):
+        trace = clamped_trace(
+            ramp_trace(0.0, 300.0, duration=300.0), ceiling=200.0,
+            floor=50.0,
+        )
+        assert trace.load_at(0.0) == pytest.approx(50.0)
+        assert trace.load_at(150.0) == pytest.approx(150.0)
+        assert trace.load_at(300.0) == pytest.approx(200.0)
+
+    def test_clamped_rejects_bad_bounds(self):
+        base = constant_trace(1.0, duration=10.0)
+        with pytest.raises(ConfigurationError):
+            clamped_trace(base, ceiling=5.0, floor=6.0)
+
+    def test_duration_edges_clamp(self):
+        trace = flash_crowd_trace(
+            base=50.0, spike=200.0, onset=600.0, duration=3600.0
+        )
+        assert trace.load_at(-5.0) == trace.load_at(0.0)
+        assert trace.load_at(1e9) == trace.load_at(3600.0)
 
 
 class TestRamp:
