@@ -126,6 +126,25 @@ KIND_SPECS: dict[str, KindSpec] = {
             MetricSpec("steps_per_second_numpy", "higher"),
         ),
     ),
+    "cooling-plant": KindSpec(
+        identity=("site",),
+        context=("machines", "load_fraction"),
+        metrics=(
+            MetricSpec("pue", "lower"),
+            MetricSpec("total_energy_joules", "lower"),
+            MetricSpec("economizer_fraction", "higher"),
+        ),
+        sections=(
+            SectionSpec(
+                key="heat_wave",
+                identity=("site",),
+                metrics=(
+                    MetricSpec("wave_pue", "lower"),
+                    MetricSpec("wave_peak_w", "lower"),
+                ),
+            ),
+        ),
+    ),
     "mpc": KindSpec(
         identity=("scenario", "controller"),
         context=("machines", "horizon"),

@@ -21,6 +21,8 @@ Usage::
     repro faults --quick --seed 7   # two-scenario smoke campaign
     repro mpc --machines 6          # MPC demand campaign -> mpc.json
     repro mpc --quick --horizon 4   # shortened traces, 4-step lookahead
+    repro weather                   # seasonal sweep -> cooling_plant.json
+    repro weather --quick --site hot-humid   # one site, daily buckets
     repro serve --socket repro.sock # allocation daemon on a unix socket
     repro serve --port 7077 --model model.json  # ... over TCP, saved model
     repro serve --socket repro.sock --pods 24   # ... on a sharded index
@@ -91,7 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
         "target",
         help="figure id (fig1..fig10, headline, algorithms), 'all', "
         "'list', 'profile', 'solve', 'index', 'metrics', 'trace', "
-        "'dashboard', 'faults', 'mpc', 'serve', 'top', or 'bench-check'",
+        "'dashboard', 'faults', 'mpc', 'weather', 'serve', 'top', or "
+        "'bench-check'",
     )
     parser.add_argument(
         "--seed",
@@ -160,8 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="run the two-scenario smoke campaign instead of the full "
-        "reference set (faults target), or time-compressed demand "
-        "traces (mpc target)",
+        "reference set (faults target), time-compressed demand "
+        "traces (mpc target), or daily instead of 3-hour weather "
+        "buckets (weather target)",
     )
     parser.add_argument(
         "--horizon",
@@ -181,6 +185,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.7,
         help="operating point for a --scenario campaign, as a fraction "
         "of cluster capacity (faults target only)",
+    )
+    parser.add_argument(
+        "--site",
+        action="append",
+        default=None,
+        help="climate preset for the seasonal sweep; repeatable, "
+        "defaults to every preset (weather target only)",
     )
     parser.add_argument(
         "--events-out",
@@ -403,7 +414,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.target == "list":
         for name in [*standalone, *contextual, "all", "profile", "solve",
                      "index", "report", "metrics", "trace", "dashboard",
-                     "faults", "mpc", "serve", "top", "bench-check"]:
+                     "faults", "mpc", "weather", "serve", "top",
+                     "bench-check"]:
             print(name)
         return 0
 
@@ -637,6 +649,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         out = pathlib.Path(args.out or "benchmarks/results/mpc.json")
         write_mpc(out, document)
         print(f"campaign document written to {out}")
+        return 0
+
+    if args.target == "weather":
+        import pathlib
+
+        from repro.experiments.weather import run_weather_study
+        from repro.obs.export import write_cooling_plant
+
+        study = run_weather_study(
+            seed=args.seed,
+            n_machines=args.machines,
+            quick=args.quick,
+            sites=args.site,
+        )
+        print(study.table())
+        out = pathlib.Path(
+            args.out or "benchmarks/results/cooling_plant.json"
+        )
+        write_cooling_plant(out, study.document())
+        print(f"seasonal study written to {out}")
         return 0
 
     if args.target == "index":

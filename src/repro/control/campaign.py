@@ -56,6 +56,7 @@ from repro.faults.campaign import _SENSOR_SPAWN_KEY, _OracleController
 from repro.faults.injection import FaultInjector
 from repro.faults.resilience import ResilientController
 from repro.faults.scenario import FaultScenario, FaultSpec
+from repro.thermal.plant import ChillerPlant, default_plant
 from repro.thermal.sensors import TemperatureSensor
 from repro.thermal.simulation import RoomSimulation
 from repro.workload.traces import (
@@ -66,6 +67,7 @@ from repro.workload.traces import (
     noisy_trace,
     overlay_traces,
 )
+from repro.workload.weather import WeatherTrace, diurnal_wetbulb, heat_wave
 
 #: Controllers every MPC campaign runs, in report order.
 MPC_CONTROLLERS: tuple[str, ...] = (
@@ -88,6 +90,7 @@ class DemandScenario:
     faults: FaultScenario
     description: str = ""
     flash_crowd: bool = False  # eligible for the dominance gate
+    weather: Optional[WeatherTrace] = None  # overrides the campaign trace
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -113,11 +116,33 @@ class DemandLoopResult:
     horizon_solves: int = 0
     fallbacks: int = 0
     precools: int = 0
+    server_energy_joules: float = 0.0
+    water_liters: Optional[float] = None
+
+    @property
+    def pue(self) -> Optional[float]:
+        """Power usage effectiveness: total energy over IT (server)
+        energy.  ``None`` when no server energy was drawn."""
+        if self.server_energy_joules <= 0.0:
+            return None
+        return self.energy_joules / self.server_energy_joules
+
+    @property
+    def wue_l_per_kwh(self) -> Optional[float]:
+        """Water usage effectiveness: tower liters per IT kWh.  ``None``
+        without a cooling tower in the loop."""
+        if self.water_liters is None or self.server_energy_joules <= 0.0:
+            return None
+        return self.water_liters / (self.server_energy_joules / 3.6e6)
 
     def to_dict(self) -> dict:
         return {
             "violation_seconds": self.violation_seconds,
             "energy_joules": self.energy_joules,
+            "server_energy_joules": self.server_energy_joules,
+            "pue": self.pue,
+            "water_liters": self.water_liters,
+            "wue_l_per_kwh": self.wue_l_per_kwh,
             "offered_task_seconds": self.offered_task_seconds,
             "served_task_seconds": self.served_task_seconds,
             "shed_task_seconds": self.shed_task_seconds,
@@ -236,6 +261,60 @@ def demand_scenarios(
     ]
 
 
+def heat_wave_scenario(
+    capacity: float,
+    seed: int = 2012,
+    quick: bool = False,
+    base_wetbulb: float = 295.15,
+    amplitude: float = 8.0,
+) -> DemandScenario:
+    """An afternoon demand peak landing under a wet-bulb heat wave.
+
+    The stress case weather-aware control exists for: the chiller's COP
+    collapses (wet-bulb up ``amplitude`` K) exactly while demand crests,
+    so cooling is at its most expensive when the room needs it most.
+    The scenario carries its own wet-bulb trace
+    (:attr:`DemandScenario.weather`), overriding the campaign-level one.
+    """
+    scale = 0.4 if quick else 1.0
+    length = 7200.0 * scale
+    demand = noisy_trace(
+        diurnal_trace(
+            base=0.4 * capacity,
+            peak=0.85 * capacity,
+            duration=length,
+            period=length,
+            peak_time=0.55 * length,
+        ),
+        noise_std=0.01 * capacity,
+        seed=seed,
+    )
+    wave = heat_wave(
+        diurnal_wetbulb(
+            mean=base_wetbulb,
+            swing=3.0,
+            duration=length,
+            period=length,
+            warmest_time=0.55 * length,
+            noise_std=0.3,
+            seed=seed,
+        ),
+        onset=0.25 * length,
+        length=0.6 * length,
+        amplitude=amplitude,
+    )
+    return DemandScenario(
+        name="heat-wave",
+        trace=demand,
+        faults=_empty_faults("heat-wave", seed, length),
+        description=(
+            "afternoon demand peak under a wet-bulb heat wave: COP "
+            "collapses exactly when the room runs hottest"
+        ),
+        weather=wave,
+    )
+
+
 # --------------------------------------------------------------------- #
 # Closed-loop demand harness
 # --------------------------------------------------------------------- #
@@ -303,6 +382,8 @@ def run_demand_loop(
     feed_state: bool = False,
     controller_name: str = "controller",
     sim_engine: str = "numpy",
+    plant: Optional[ChillerPlant] = None,
+    weather: Optional[WeatherTrace] = None,
 ) -> DemandLoopResult:
     """Drive one controller through one demand scenario, ground truth on.
 
@@ -323,17 +404,44 @@ def run_demand_loop(
     therefore heats the live on-set under the *old* supply temperature
     until the next replan — the transient window pre-provisioning and
     pre-cooling exist to cover.
+
+    With a ``plant`` and ``weather`` (a scenario-level
+    ``scenario.weather`` overrides the argument), the cooling
+    *electrical* draw is re-priced each substep through the chiller
+    plant's weather-dependent COP and hysteretic economizer — the
+    air-side thermals are untouched — and the result carries PUE plus
+    (with a cooling tower) water use and WUE.
     """
     if control_dt <= 0.0 or sim_dt <= 0.0 or sim_dt > control_dt:
         raise ConfigurationError(
             f"need 0 < sim_dt <= control_dt, got {sim_dt}, {control_dt}"
         )
+    wx = scenario.weather if scenario.weather is not None else weather
+    if plant is not None and wx is None:
+        raise ConfigurationError(
+            "a chiller plant needs a weather trace (wet-bulb drives "
+            "its COP and economizer)"
+        )
+    if wx is not None and plant is None:
+        raise ConfigurationError(
+            "a weather trace needs a chiller plant to act on"
+        )
     trace = scenario.trace
     total = trace.duration
     t_max = testbed.config.t_max
     inj = injector if injector is not None else FaultInjector(scenario.faults)
-    cooler = replace(testbed.cooler, _integral=0.0, _q_cool=0.0)
+    # Auto-reset on scenario start: a fresh cooler copy (set point kept,
+    # PI state zeroed) so back-to-back scenarios can never leak integral
+    # state between runs.
+    cooler = testbed.fresh_cooler()
     sim = RoomSimulation(testbed.room, cooler, engine=sim_engine)
+    # Per-run plant copy: mode machine starts mechanical and acts on
+    # this run's cooler, so scenarios can't leak hysteresis state.
+    run_plant = (
+        replace(plant, cooling_unit=cooler, _mode="mechanical")
+        if plant is not None
+        else None
+    )
     inj.attach_simulation(sim)
     if attach_injector:
         controller.attach_fault_injector(inj)
@@ -353,6 +461,11 @@ def run_demand_loop(
     )
     substeps = max(1, int(round(control_dt / sim_dt)))
     energy = 0.0
+    server_energy = 0.0
+    water: Optional[float] = (
+        0.0 if run_plant is not None and run_plant.tower is not None
+        else None
+    )
     violation = 0.0
     offered_ts = 0.0
     served_ts = 0.0
@@ -426,7 +539,24 @@ def run_demand_loop(
                 powers = _node_powers(testbed, loads, mask)
                 sim.set_node_powers(powers, on_mask=mask)
                 sim.step(sim_dt)
-                energy += sim.total_power * sim_dt
+                servers = float(powers.sum())
+                server_energy += servers * sim_dt
+                if run_plant is None:
+                    energy += sim.total_power * sim_dt
+                else:
+                    # Same heat removal, weather-priced electricity:
+                    # the coil's q_cool is what the room physics
+                    # settled on; the plant converts it to watts at
+                    # this wet-bulb in the hysteretic mode in force.
+                    t_wb = wx.wetbulb_at(t_sub)
+                    run_plant.advance_mode(t_wb)
+                    energy += (
+                        servers
+                        + run_plant.electrical_power(cooler.q_cool, t_wb)
+                    ) * sim_dt
+                    rate = run_plant.water_rate(cooler.q_cool, t_wb)
+                    if rate is not None and water is not None:
+                        water += rate * sim_dt
                 hottest = (
                     float(np.max(sim.t_cpu[on_idx]))
                     if on_idx.size
@@ -456,6 +586,8 @@ def run_demand_loop(
             horizon_solves=int(getattr(controller, "horizon_solves", 0)),
             fallbacks=int(getattr(controller, "fallbacks", 0)),
             precools=int(getattr(controller, "precools", 0)),
+            server_energy_joules=server_energy,
+            water_liters=water,
         )
         if rec is not None:
             rec.outcome.update(
@@ -506,6 +638,47 @@ def _build_controller(
     raise ConfigurationError(f"unknown campaign controller {name!r}")
 
 
+def _weather_context(
+    context,
+    scenario: DemandScenario,
+    chiller: Optional[ChillerPlant],
+    weather: Optional[WeatherTrace],
+    control_dt: float,
+):
+    """Context whose optimizer prices cooling at this scenario's weather.
+
+    Re-derives the paper's lumped cooling constant ``c`` (Eq. 10) as a
+    local linearization of the chiller plant at the scenario's mean
+    wet-bulb and expected cooling load, then rebuilds the optimizer on
+    the re-linearized model.  Without weather the context passes through
+    unchanged.
+    """
+    if chiller is None or weather is None:
+        return context
+    import dataclasses
+
+    from repro.core.optimizer import JointOptimizer
+
+    wx = scenario.weather if scenario.weather is not None else weather
+    wb = wx.mean(dt=control_dt)
+    probe = replace(chiller, _mode="mechanical")
+    probe.advance_mode(wb)
+    # Expected heat to remove: the fitted power law at the scenario's
+    # mean demand, with a machine count big enough to carry it.
+    model = context.model
+    mean_load = float(np.mean(scenario.trace.sample(control_dt)))
+    capacity = context.testbed.total_capacity
+    n = context.testbed.n_machines
+    n_est = max(1, math.ceil(mean_load / max(capacity / n, 1e-9)))
+    q_ref = max(model.power.w1 * mean_load + model.power.w2 * n_est, 0.0)
+    model2 = chiller.linearized_model(
+        model, wb, q_ref, mode=probe.mode
+    )
+    return dataclasses.replace(
+        context, optimizer=JointOptimizer(model2)
+    )
+
+
 def run_mpc_campaign(
     seed: int = 2012,
     n_machines: int = 6,
@@ -517,6 +690,8 @@ def run_mpc_campaign(
     sim_dt: float = 2.0,
     context=None,
     sim_engine: str = "numpy",
+    chiller: Optional[ChillerPlant] = None,
+    weather: Optional[WeatherTrace] = None,
 ) -> tuple[dict, dict]:
     """Sweep demand scenarios over the reactive/MPC/oracle controllers.
 
@@ -525,6 +700,15 @@ def run_mpc_campaign(
     and the ``mpc.json`` document (schema:
     :func:`repro.obs.export.validate_mpc`).  The whole campaign is a
     pure function of ``(seed, n_machines, scenarios, horizon)``.
+
+    With ``weather`` (and optionally an explicit ``chiller``), the
+    campaign turns weather-aware: every run is re-priced through the
+    chiller plant, a ``heat-wave`` scenario joins the built-in set, and
+    each scenario's optimizer operates on the fitted model re-linearized
+    at that scenario's mean wet-bulb and expected cooling load
+    (:meth:`~repro.thermal.plant.ChillerPlant.linearized_model`) — the
+    Eq. 10 seam: the closed form, the MPC LP, and the subset scorer run
+    structurally unchanged per operating point.
     """
     if context is None:
         from repro.experiments.common import default_context
@@ -533,6 +717,13 @@ def run_mpc_campaign(
             seed=seed, n_machines=n_machines, sim_engine=sim_engine
         )
     testbed = context.testbed
+    if chiller is not None and weather is None:
+        raise ConfigurationError(
+            "a chiller plant needs a weather trace (wet-bulb drives "
+            "its COP and economizer)"
+        )
+    if weather is not None and chiller is None:
+        chiller = default_plant(testbed.fresh_cooler())
     entries = (
         list(scenarios)
         if scenarios is not None
@@ -540,15 +731,27 @@ def run_mpc_campaign(
             testbed.total_capacity, seed=seed, quick=quick
         )
     )
+    if weather is not None and scenarios is None:
+        entries.append(
+            heat_wave_scenario(
+                testbed.total_capacity,
+                seed=seed,
+                quick=quick,
+                base_wetbulb=weather.mean(dt=3600.0),
+            )
+        )
     plant = LinearizedPlant.from_testbed(testbed, dt=control_dt)
     results: dict = {}
     with obs.timed("control/mpc_campaign"):
         for scenario in entries:
+            scenario_context = _weather_context(
+                context, scenario, chiller, weather, control_dt
+            )
             runs: dict = {}
             for name in MPC_CONTROLLERS:
                 injector = FaultInjector(scenario.faults)
                 controller, attach, readings, state = _build_controller(
-                    name, context, scenario, injector,
+                    name, scenario_context, scenario, injector,
                     horizon=horizon, control_dt=control_dt, plant=plant,
                 )
                 runs[name] = run_demand_loop(
@@ -563,6 +766,8 @@ def run_mpc_campaign(
                     feed_state=state,
                     controller_name=name,
                     sim_engine=sim_engine,
+                    plant=chiller,
+                    weather=weather,
                 )
             results[scenario.name] = runs
         obs.set_span_attributes(
@@ -578,6 +783,12 @@ def run_mpc_campaign(
         sim_dt=sim_dt,
         capacity=testbed.total_capacity,
     )
+    if weather is not None:
+        document["weather"] = {
+            "mean_wetbulb_k": weather.mean(dt=3600.0),
+            "economizer": chiller.economizer is not None,
+            "cooling_tower": chiller.tower is not None,
+        }
     return results, document
 
 

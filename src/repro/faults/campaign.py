@@ -90,6 +90,15 @@ class ClosedLoopResult:
     sensors_quarantined: int
     max_t_cpu: float
     fault_events: tuple[FaultEvent, ...] = field(default=())
+    server_energy_joules: float = 0.0
+
+    @property
+    def pue(self) -> Optional[float]:
+        """Power usage effectiveness: total energy over IT (server)
+        energy.  ``None`` when no server energy was drawn."""
+        if self.server_energy_joules <= 0.0:
+            return None
+        return self.energy_joules / self.server_energy_joules
 
     def to_dict(self) -> dict:
         """JSON-ready metrics row (fault events are reported separately)."""
@@ -107,6 +116,8 @@ class ClosedLoopResult:
             "safe_mode_entries": self.safe_mode_entries,
             "sensors_quarantined": self.sensors_quarantined,
             "max_t_cpu": self.max_t_cpu,
+            "server_energy_joules": self.server_energy_joules,
+            "pue": self.pue,
         }
 
 
@@ -250,9 +261,7 @@ class _OracleController:
         self._plan = None
         self.reconfigurations = 0
         self.suppressed = 0
-        self._probe_cooler = replace(
-            testbed.cooler, _integral=0.0, _q_cool=0.0
-        )
+        self._probe_cooler = testbed.fresh_cooler()
         self._probe = RoomSimulation(testbed.room, self._probe_cooler)
         self._nominal_q_max = float(testbed.cooler.q_max)
         self._cache: dict = {}
@@ -402,7 +411,10 @@ def run_closed_loop(
         )
     t_max = testbed.config.t_max
     inj = injector if injector is not None else FaultInjector(scenario)
-    cooler = replace(testbed.cooler, _integral=0.0, _q_cool=0.0)
+    # Auto-reset on scenario start: a fresh cooler copy (set point kept,
+    # PI state zeroed) so back-to-back scenarios can never leak integral
+    # state between runs.
+    cooler = testbed.fresh_cooler()
     sim = RoomSimulation(testbed.room, cooler, engine=sim_engine)
     inj.attach_simulation(sim)
     if attach_injector:
@@ -419,6 +431,7 @@ def run_closed_loop(
     n = testbed.n_machines
     substeps = max(1, int(round(control_dt / sim_dt)))
     energy = 0.0
+    server_energy = 0.0
     violation = 0.0
     violation_graced = 0.0
     offered_ts = 0.0
@@ -478,6 +491,7 @@ def run_closed_loop(
             for _ in range(substeps):
                 sim.step(sim_dt)
                 energy += sim.total_power * sim_dt
+                server_energy += float(powers.sum()) * sim_dt
             on_idx = np.flatnonzero(sim.on_mask)
             hottest = (
                 float(np.max(sim.t_cpu[on_idx]))
@@ -538,6 +552,7 @@ def run_closed_loop(
             ),
             max_t_cpu=max_t,
             fault_events=tuple(inj.events),
+            server_energy_joules=server_energy,
         )
         if rec is not None:
             rec.outcome.update(

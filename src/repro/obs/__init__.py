@@ -31,12 +31,14 @@ from repro.obs.export import (
     render_prometheus,
     validate_bench_observability,
     validate_consolidation_scale,
+    validate_cooling_plant,
     validate_mpc,
     validate_prometheus,
     validate_resilience,
     validate_serving,
     validate_simulation_speed,
     write_bench_observability,
+    write_cooling_plant,
     write_mpc,
     write_resilience,
     write_serving,
@@ -139,10 +141,12 @@ __all__ = [
     "write_bench_observability",
     "validate_bench_observability",
     "validate_consolidation_scale",
+    "validate_cooling_plant",
     "validate_mpc",
     "validate_resilience",
     "validate_serving",
     "validate_simulation_speed",
+    "write_cooling_plant",
     "write_mpc",
     "write_resilience",
     "write_serving",

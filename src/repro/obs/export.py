@@ -1024,6 +1024,212 @@ def write_mpc(
     return target
 
 
+#: Keys every per-site cooling-plant entry must carry.
+_COOLING_PLANT_ENTRY_KEYS = (
+    "site", "description", "buckets", "bucket_seconds",
+    "it_energy_joules", "cooling_energy_joules", "total_energy_joules",
+    "pue", "water_liters", "wue_l_per_kwh", "economizer_fraction",
+    "mode_switches", "mean_cop", "linearization_gap",
+)
+
+#: Keys every heat-wave row must carry.
+_COOLING_PLANT_WAVE_KEYS = (
+    "site", "amplitude_k", "baseline_pue", "wave_pue", "pue_penalty",
+    "baseline_peak_w", "wave_peak_w",
+)
+
+#: Exactness budget for the per-site linearization-gap stamp.  The
+#: tangent re-linearization of Eq. 10 is *exact* at its operating point
+#: (the chiller's power curve is smooth there); a gap beyond float
+#: round-off means the seam between the plant and the optimizer leaks.
+_COOLING_PLANT_GAP_TOLERANCE = 1e-6
+
+
+def validate_cooling_plant(document: Mapping) -> None:
+    """Raise :class:`ConfigurationError` unless ``document`` is a valid
+    cooling-plant record.
+
+    Shape (written by ``repro weather`` /
+    ``benchmarks/bench_cooling_plant.py`` to
+    ``benchmarks/results/cooling_plant.json``; built by
+    :meth:`repro.experiments.weather.WeatherStudyResult.document`)::
+
+        {
+          "schema": 1,
+          "kind": "cooling-plant",
+          "seed": <int>, "machines": <int>,
+          "load_fraction": <0..1>, "quick": <bool>,
+          "entries": [              # one per climate preset
+            {
+              "site": <str>, "description": <str>,
+              "buckets": <int>, "bucket_seconds": <s>,
+              "it_energy_joules": <J>,
+              "cooling_energy_joules": <J>,
+              "total_energy_joules": <J>,
+              "pue": <total / IT, >= 1>,
+              "water_liters": <L> | null,
+              "wue_l_per_kwh": <L/kWh> | null,
+              "economizer_fraction": <0..1>,
+              "mode_switches": <int>,
+              "mean_cop": <delivered J per electrical J>,
+              "linearization_gap": <relative, <= 1e-6>
+            }, ...
+          ],
+          "heat_wave": [            # one stress day per site
+            {
+              "site": <str>, "amplitude_k": <K>,
+              "baseline_pue": <float>, "wave_pue": <float>,
+              "pue_penalty": <wave - baseline>,
+              "baseline_peak_w": <W>, "wave_peak_w": <W>
+            }, ...
+          ]
+        }
+
+    Beyond shape, the validator enforces the physics the artifact
+    certifies: PUE at least 1, energies adding up, water/WUE paired,
+    and — the PR's acceptance stamp — every site's
+    ``linearization_gap`` within float round-off, so a drifting plant
+    model cannot silently decouple from the Eq. 10 optimizer.
+    """
+    if not isinstance(document, Mapping):
+        raise ConfigurationError("cooling-plant document must be a mapping")
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported cooling-plant schema {document.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    if document.get("kind") != "cooling-plant":
+        raise ConfigurationError(
+            f"not a cooling-plant record (kind={document.get('kind')!r})"
+        )
+    for key in ("seed", "machines"):
+        if not isinstance(document.get(key), int):
+            raise ConfigurationError(f"{key!r} must be an int")
+    if document["machines"] < 1:
+        raise ConfigurationError("'machines' must be positive")
+    fraction = document.get("load_fraction")
+    if not isinstance(fraction, (int, float)) or not 0.0 < fraction <= 1.0:
+        raise ConfigurationError("'load_fraction' must be in (0, 1]")
+    if not isinstance(document.get("quick"), bool):
+        raise ConfigurationError("'quick' must be a bool")
+    entries = document.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ConfigurationError("'entries' must be a non-empty list")
+    sites = []
+    for entry in entries:
+        if not isinstance(entry, Mapping):
+            raise ConfigurationError("each entry must be a map")
+        missing = [k for k in _COOLING_PLANT_ENTRY_KEYS if k not in entry]
+        if missing:
+            raise ConfigurationError(f"entry missing {missing}")
+        site = entry["site"]
+        if not isinstance(site, str) or not site:
+            raise ConfigurationError("entry 'site' must be a non-empty str")
+        sites.append(site)
+        if not isinstance(entry["buckets"], int) or entry["buckets"] < 1:
+            raise ConfigurationError(
+                f"site {site!r} 'buckets' must be a positive int"
+            )
+        if not isinstance(entry["mode_switches"], int) or \
+                entry["mode_switches"] < 0:
+            raise ConfigurationError(
+                f"site {site!r} 'mode_switches' must be a non-negative int"
+            )
+        for key in ("bucket_seconds", "it_energy_joules",
+                    "cooling_energy_joules", "total_energy_joules",
+                    "mean_cop"):
+            value = entry[key]
+            if not isinstance(value, (int, float)) or value <= 0.0:
+                raise ConfigurationError(
+                    f"site {site!r} {key!r} must be a positive number"
+                )
+        total = entry["it_energy_joules"] + entry["cooling_energy_joules"]
+        if abs(total - entry["total_energy_joules"]) > 1e-6 * max(total, 1.0):
+            raise ConfigurationError(
+                f"site {site!r}: total energy does not equal IT + cooling"
+            )
+        pue = entry["pue"]
+        if not isinstance(pue, (int, float)) or pue < 1.0:
+            raise ConfigurationError(
+                f"site {site!r} 'pue' must be a number >= 1"
+            )
+        econ = entry["economizer_fraction"]
+        if not isinstance(econ, (int, float)) or not 0.0 <= econ <= 1.0:
+            raise ConfigurationError(
+                f"site {site!r} 'economizer_fraction' must be in [0, 1]"
+            )
+        water = entry["water_liters"]
+        wue = entry["wue_l_per_kwh"]
+        if (water is None) != (wue is None):
+            raise ConfigurationError(
+                f"site {site!r}: 'water_liters' and 'wue_l_per_kwh' must "
+                "be both present or both null"
+            )
+        for key, value in (("water_liters", water),
+                           ("wue_l_per_kwh", wue)):
+            if value is not None and (
+                not isinstance(value, (int, float)) or value < 0.0
+            ):
+                raise ConfigurationError(
+                    f"site {site!r} {key!r} must be a non-negative "
+                    "number or null"
+                )
+        gap = entry["linearization_gap"]
+        if not isinstance(gap, (int, float)) or not (
+            0.0 <= gap <= _COOLING_PLANT_GAP_TOLERANCE
+        ):
+            raise ConfigurationError(
+                f"site {site!r} 'linearization_gap' {gap!r} exceeds "
+                f"{_COOLING_PLANT_GAP_TOLERANCE:g} — the re-linearized "
+                "Eq. 10 no longer matches the plant at its operating point"
+            )
+    if len(set(sites)) != len(sites):
+        raise ConfigurationError("entry sites must be unique")
+    waves = document.get("heat_wave")
+    if not isinstance(waves, list) or not waves:
+        raise ConfigurationError("'heat_wave' must be a non-empty list")
+    for wave in waves:
+        if not isinstance(wave, Mapping):
+            raise ConfigurationError("each heat-wave row must be a map")
+        missing = [k for k in _COOLING_PLANT_WAVE_KEYS if k not in wave]
+        if missing:
+            raise ConfigurationError(f"heat-wave row missing {missing}")
+        site = wave["site"]
+        if site not in sites:
+            raise ConfigurationError(
+                f"heat-wave row references unknown site {site!r}"
+            )
+        for key in ("amplitude_k", "baseline_pue", "wave_pue",
+                    "baseline_peak_w", "wave_peak_w"):
+            value = wave[key]
+            if not isinstance(value, (int, float)) or value <= 0.0:
+                raise ConfigurationError(
+                    f"heat-wave {site!r} {key!r} must be a positive number"
+                )
+        penalty = wave["pue_penalty"]
+        if not isinstance(penalty, (int, float)):
+            raise ConfigurationError(
+                f"heat-wave {site!r} 'pue_penalty' must be numeric"
+            )
+        implied = wave["wave_pue"] - wave["baseline_pue"]
+        if abs(penalty - implied) > 1e-9:
+            raise ConfigurationError(
+                f"heat-wave {site!r}: 'pue_penalty' disagrees with its "
+                "own PUE numbers"
+            )
+
+
+def write_cooling_plant(
+    path: Union[str, pathlib.Path], document: Mapping
+) -> pathlib.Path:
+    """Validate and write a cooling-plant document to ``path``."""
+    target = pathlib.Path(path)
+    validate_cooling_plant(document)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return target
+
+
 # ---------------------------------------------------------------------- #
 # Prometheus text exposition
 # ---------------------------------------------------------------------- #

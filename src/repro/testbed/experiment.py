@@ -19,7 +19,7 @@ truth (room, cooling unit, server power laws) and offers
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 import numpy as np
@@ -132,6 +132,20 @@ class Testbed:
     def total_capacity(self) -> float:
         """Total cluster capacity, tasks/s."""
         return sum(pm.capacity for pm in self.power_models)
+
+    def fresh_cooler(self) -> CoolingUnit:
+        """A copy of the cooling unit with cleared PI state.
+
+        Harness runs (workload replays, transition measurements,
+        campaign scenarios) must never step the shared ground-truth
+        cooler: doing so leaks integral state and set-point changes
+        into whatever runs next, breaking same-seed replay determinism.
+        Scenario runners simulate against this copy instead — same
+        set point, PI state zeroed.
+        """
+        cooler = replace(self.cooler)
+        cooler.reset()
+        return cooler
 
     # ------------------------------------------------------------------ #
     # Profiling
@@ -280,12 +294,13 @@ class Testbed:
             rate=decision.total_load,
             deterministic=deterministic_arrivals,
         )
+        cooler = self.fresh_cooler()
         if isinstance(self.simulation, RoomSimulation):
             sim = RoomSimulation(
-                self.room, self.cooler, engine=self.simulation.engine
+                self.room, cooler, engine=self.simulation.engine
             )
         else:
-            sim = type(self.simulation)(self.room, self.cooler)
+            sim = type(self.simulation)(self.room, cooler)
         sim.set_set_point(decision.t_sp)
         energy = 0.0
         power_samples: list[float] = []

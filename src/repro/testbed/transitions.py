@@ -71,7 +71,7 @@ def measure_transition(
         raise ConfigurationError(f"dt must be positive, got {dt}")
     boot = testbed.config.boot_time if boot_time is None else boot_time
 
-    sim = RoomSimulation(testbed.room, testbed.cooler)
+    sim = RoomSimulation(testbed.room, testbed.fresh_cooler())
     n = testbed.n_machines
     before_mask = np.zeros(n, dtype=bool)
     before_mask[list(before.on_ids)] = True

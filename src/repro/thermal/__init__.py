@@ -14,11 +14,21 @@ Dell R210 machines cooled by a Liebert Challenger 3000).  It implements:
   algebraic steady-state solver;
 - :mod:`repro.thermal.sensors` — noisy, quantized sensor emulations
   (Watts-up-Pro power meters, lm-sensors CPU temperatures) and the low-pass
-  filter the paper applies before regression.
+  filter the paper applies before regression;
+- :mod:`repro.thermal.plant` — the weather-aware chiller plant behind the
+  coil: ASHRAE-style COP curves, a hysteretic economizer, cooling-tower
+  water accounting, and the per-operating-point Eq. 10 re-linearization.
 """
 
 from repro.thermal.cooling import CoolingUnit
 from repro.thermal.node import ComputeNodeThermal, NodeThermalState
+from repro.thermal.plant import (
+    ChillerPlant,
+    COPCurve,
+    CoolingTowerConfig,
+    EconomizerConfig,
+    default_plant,
+)
 from repro.thermal.room import MachineRoom
 from repro.thermal.sensors import PowerMeter, TemperatureSensor, low_pass_filter
 from repro.thermal.simulation import RoomSimulation, SteadyState
@@ -28,6 +38,11 @@ __all__ = [
     "NodeThermalState",
     "MachineRoom",
     "CoolingUnit",
+    "ChillerPlant",
+    "COPCurve",
+    "EconomizerConfig",
+    "CoolingTowerConfig",
+    "default_plant",
     "RoomSimulation",
     "SteadyState",
     "PowerMeter",

@@ -176,6 +176,13 @@ class CoolingUnit:
     def steady_supply_temperature(
         self, heat_load: float, t_return: float
     ) -> float:
-        """Supply temperature at steady state for a given heat load, K."""
-        q = min(max(heat_load, 0.0), self.q_max)
+        """Supply temperature at steady state for a given heat load, K.
+
+        The removable heat is clamped through both actuator limits —
+        ``q_max`` *and* the coil limit implied by ``t_ac_min`` at this
+        return temperature — so the reported supply temperature can
+        never fall below ``t_ac_min``, matching ``steady_state_power``
+        and the transient PI loop.
+        """
+        q = min(max(heat_load, 0.0), self.max_capacity_for_return(t_return))
         return t_return - q / (self.supply_flow * units.C_AIR)

@@ -15,6 +15,15 @@ reproduces that substrate:
 from repro.workload.balancer import Allocation, LoadBalancer
 from repro.workload.cluster import Cluster, Server, ServerState
 from repro.workload.tasks import Task, TaskGenerator
+from repro.workload.weather import (
+    SITES,
+    SitePreset,
+    WeatherTrace,
+    diurnal_wetbulb,
+    heat_wave,
+    seasonal_wetbulb,
+    site_weather,
+)
 from repro.workload.traces import (
     LoadTrace,
     clamped_trace,
@@ -44,4 +53,11 @@ __all__ = [
     "overlay_traces",
     "noisy_trace",
     "clamped_trace",
+    "WeatherTrace",
+    "SitePreset",
+    "SITES",
+    "diurnal_wetbulb",
+    "seasonal_wetbulb",
+    "heat_wave",
+    "site_weather",
 ]

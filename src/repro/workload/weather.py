@@ -1,0 +1,328 @@
+"""Seeded outdoor wet-bulb weather traces (ROADMAP 4).
+
+The chiller plant's COP and its economizer switchover are driven by the
+outdoor *wet-bulb* temperature — the thermodynamic floor an evaporative
+cooling tower can reject against.  This module generates reproducible
+wet-bulb series with the same counter-based pure-function noise the
+demand traces use (:mod:`repro.workload.traces`): the jitter at time
+``t`` is a pure function of ``(seed, t // noise_dt)``, so
+``wetbulb_at(t)`` is replayable — no generator state, identical draws
+on every call and across orderings.
+
+Three generators cover the campaign scenarios:
+
+- :func:`diurnal_wetbulb` — one day: a sinusoid warmest mid-afternoon;
+- :func:`seasonal_wetbulb` — a year: a seasonal sinusoid (winter trough
+  to summer crest) carrying the diurnal cycle on top;
+- :func:`heat_wave` — a trapezoidal excursion added onto any trace
+  (ramp up, hold, ramp down), the stress scenario for
+  ``run_mpc_campaign``.
+
+:data:`SITES` holds three contrasting site presets (a temperate coast,
+a hot-humid tropic, a cold continental plain) for the ``repro weather``
+seasonal sweep and site-comparison table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.workload.traces import _bucket_noise
+
+#: Physical clamp band for generated wet-bulb temperatures, K.
+MIN_WETBULB = units.celsius_to_kelvin(-45.0)
+MAX_WETBULB = units.celsius_to_kelvin(45.0)
+
+#: Seconds in the default synthetic day and year.
+DAY = 86400.0
+YEAR = 365.0 * DAY
+
+
+@dataclass(frozen=True)
+class WeatherTrace:
+    """An outdoor wet-bulb temperature profile over time.
+
+    Mirrors :class:`~repro.workload.traces.LoadTrace` (scalar
+    ``profile``, vectorized ``vector_profile`` twin, duration clamp)
+    but in Kelvin, clamped into the physically sane wet-bulb band
+    instead of at zero.
+    """
+
+    profile: Callable[[float], float]
+    duration: float
+    vector_profile: Optional[Callable[[np.ndarray], np.ndarray]] = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0.0:
+            raise ConfigurationError(
+                f"duration must be positive, got {self.duration}"
+            )
+
+    def wetbulb_at(self, t: float) -> float:
+        """Wet-bulb temperature (K) at time ``t`` (clamped to duration)."""
+        clamped = min(max(t, 0.0), self.duration)
+        value = float(self.profile(clamped))
+        return min(max(value, MIN_WETBULB), MAX_WETBULB)
+
+    def values_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`wetbulb_at` over an array of times."""
+        times = np.asarray(times, dtype=float)
+        clamped = np.clip(times, 0.0, self.duration)
+        if self.vector_profile is not None:
+            values = np.asarray(self.vector_profile(clamped), dtype=float)
+        else:
+            values = np.array(
+                [float(self.profile(t)) for t in clamped], dtype=float
+            )
+        return np.clip(values, MIN_WETBULB, MAX_WETBULB)
+
+    def sample(self, dt: float) -> np.ndarray:
+        """The trace sampled every ``dt`` seconds (inclusive of t=0)."""
+        if dt <= 0.0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        times = np.arange(0.0, self.duration + 1e-9, dt)
+        return self.values_at(times)
+
+    def mean(self, dt: float = 3600.0) -> float:
+        """Time-averaged wet-bulb over the trace, K."""
+        return float(np.mean(self.sample(dt)))
+
+
+def _check_noise(noise_std: float, noise_dt: float) -> None:
+    if noise_std < 0.0:
+        raise ConfigurationError(
+            f"noise_std must be non-negative, got {noise_std}"
+        )
+    if noise_dt <= 0.0:
+        raise ConfigurationError(
+            f"noise_dt must be positive, got {noise_dt}"
+        )
+
+
+def diurnal_wetbulb(
+    mean: float,
+    swing: float,
+    duration: float = DAY,
+    period: float = DAY,
+    warmest_time: float = 15.0 * 3600.0,
+    noise_std: float = 0.4,
+    seed: int = 0,
+    noise_dt: float = 900.0,
+) -> WeatherTrace:
+    """One synthetic day of wet-bulb: warmest mid-afternoon, coolest
+    before dawn, ``swing`` kelvin crest to trough, seeded jitter."""
+    if swing < 0.0:
+        raise ConfigurationError(f"swing must be non-negative, got {swing}")
+    if period <= 0.0:
+        raise ConfigurationError(f"period must be positive, got {period}")
+    _check_noise(noise_std, noise_dt)
+    amplitude = 0.5 * swing
+
+    def profile(t: float) -> float:
+        phase = 2.0 * math.pi * (t - warmest_time) / period
+        value = mean + amplitude * math.cos(phase)
+        if noise_std > 0.0:
+            bucket = int(t // noise_dt)
+            value += noise_std * float(_bucket_noise(seed, [bucket])[0])
+        return value
+
+    def vector_profile(ts: np.ndarray) -> np.ndarray:
+        phase = 2.0 * np.pi * (ts - warmest_time) / period
+        values = mean + amplitude * np.cos(phase)
+        if noise_std > 0.0:
+            buckets = (ts // noise_dt).astype(np.int64)
+            values = values + noise_std * _bucket_noise(seed, buckets)
+        return values
+
+    return WeatherTrace(
+        profile=profile, duration=duration, vector_profile=vector_profile
+    )
+
+
+def seasonal_wetbulb(
+    winter_mean: float,
+    summer_mean: float,
+    diurnal_swing: float,
+    duration: float = YEAR,
+    year: float = YEAR,
+    day: float = DAY,
+    warmest_day: float = 0.55,
+    noise_std: float = 0.8,
+    seed: int = 0,
+    noise_dt: float = 3600.0,
+) -> WeatherTrace:
+    """A synthetic year of wet-bulb: a seasonal sinusoid from
+    ``winter_mean`` (t=0: midwinter) to ``summer_mean`` (crest at
+    ``warmest_day`` of the year), the diurnal cycle riding on top, and
+    per-bucket seeded jitter."""
+    if summer_mean < winter_mean:
+        raise ConfigurationError(
+            f"need winter_mean <= summer_mean, got "
+            f"{winter_mean} > {summer_mean}"
+        )
+    if diurnal_swing < 0.0:
+        raise ConfigurationError(
+            f"diurnal_swing must be non-negative, got {diurnal_swing}"
+        )
+    if year <= 0.0 or day <= 0.0:
+        raise ConfigurationError(
+            f"year and day must be positive, got {year}, {day}"
+        )
+    _check_noise(noise_std, noise_dt)
+    mid = 0.5 * (winter_mean + summer_mean)
+    seasonal_amp = 0.5 * (summer_mean - winter_mean)
+    diurnal_amp = 0.5 * diurnal_swing
+    warmest_hour = 15.0 / 24.0  # mid-afternoon crest within each day
+
+    def profile(t: float) -> float:
+        season = mid - seasonal_amp * math.cos(
+            2.0 * math.pi * (t / year - (warmest_day - 0.5))
+        )
+        daily = diurnal_amp * math.cos(
+            2.0 * math.pi * (t / day - warmest_hour)
+        )
+        value = season + daily
+        if noise_std > 0.0:
+            bucket = int(t // noise_dt)
+            value += noise_std * float(_bucket_noise(seed, [bucket])[0])
+        return value
+
+    def vector_profile(ts: np.ndarray) -> np.ndarray:
+        season = mid - seasonal_amp * np.cos(
+            2.0 * np.pi * (ts / year - (warmest_day - 0.5))
+        )
+        daily = diurnal_amp * np.cos(
+            2.0 * np.pi * (ts / day - warmest_hour)
+        )
+        values = season + daily
+        if noise_std > 0.0:
+            buckets = (ts // noise_dt).astype(np.int64)
+            values = values + noise_std * _bucket_noise(seed, buckets)
+        return values
+
+    return WeatherTrace(
+        profile=profile, duration=duration, vector_profile=vector_profile
+    )
+
+
+def heat_wave(
+    trace: WeatherTrace,
+    onset: float,
+    length: float,
+    amplitude: float,
+    ramp: Optional[float] = None,
+) -> WeatherTrace:
+    """``trace`` plus a trapezoidal heat-wave excursion.
+
+    The wet-bulb climbs by ``amplitude`` kelvin over ``ramp`` seconds
+    starting at ``onset``, holds, and ramps back down so the excursion
+    spans ``length`` seconds total.  The stress scenario for the
+    weather-aware MPC campaign: COP collapses exactly when demand peaks.
+    """
+    if length <= 0.0:
+        raise ConfigurationError(f"length must be positive, got {length}")
+    if amplitude < 0.0:
+        raise ConfigurationError(
+            f"amplitude must be non-negative, got {amplitude}"
+        )
+    if ramp is None:
+        ramp = 0.2 * length
+    if ramp < 0.0 or 2.0 * ramp > length:
+        raise ConfigurationError(
+            f"need 0 <= ramp <= length/2, got ramp={ramp}, length={length}"
+        )
+
+    def bump(t: float) -> float:
+        s = t - onset
+        if s <= 0.0 or s >= length:
+            return 0.0
+        if ramp > 0.0 and s < ramp:
+            return s / ramp
+        if ramp > 0.0 and s > length - ramp:
+            return (length - s) / ramp
+        return 1.0
+
+    def vector_bump(ts: np.ndarray) -> np.ndarray:
+        s = ts - onset
+        inside = (s > 0.0) & (s < length)
+        if ramp > 0.0:
+            shape = np.minimum(
+                1.0, np.minimum(s / ramp, (length - s) / ramp)
+            )
+        else:
+            shape = np.ones_like(s)
+        return np.where(inside, np.maximum(shape, 0.0), 0.0)
+
+    return WeatherTrace(
+        profile=lambda t: trace.wetbulb_at(t) + amplitude * bump(t),
+        duration=trace.duration,
+        vector_profile=lambda ts: trace.values_at(ts)
+        + amplitude * vector_bump(np.asarray(ts, dtype=float)),
+    )
+
+
+@dataclass(frozen=True)
+class SitePreset:
+    """Climate parameters for one synthetic site."""
+
+    name: str
+    description: str
+    winter_mean: float  # K
+    summer_mean: float  # K
+    diurnal_swing: float  # K
+
+
+#: The built-in site-comparison presets for the seasonal sweep.
+SITES: dict[str, SitePreset] = {
+    preset.name: preset
+    for preset in (
+        SitePreset(
+            name="coastal-temperate",
+            description="marine climate: mild summers, free-cooling "
+            "shoulder seasons",
+            winter_mean=units.celsius_to_kelvin(3.0),
+            summer_mean=units.celsius_to_kelvin(16.0),
+            diurnal_swing=4.0,
+        ),
+        SitePreset(
+            name="hot-humid",
+            description="tropical: high wet-bulb year round, the "
+            "economizer almost never engages",
+            winter_mean=units.celsius_to_kelvin(19.0),
+            summer_mean=units.celsius_to_kelvin(26.0),
+            diurnal_swing=3.0,
+        ),
+        SitePreset(
+            name="cold-continental",
+            description="continental plain: deep free-cooling winters, "
+            "warm summers",
+            winter_mean=units.celsius_to_kelvin(-12.0),
+            summer_mean=units.celsius_to_kelvin(18.0),
+            diurnal_swing=7.0,
+        ),
+    )
+}
+
+
+def site_weather(
+    site: str, seed: int = 2012, duration: float = YEAR
+) -> WeatherTrace:
+    """A seeded yearly wet-bulb trace for one of the built-in sites."""
+    if site not in SITES:
+        raise ConfigurationError(
+            f"unknown site {site!r}; choose from {sorted(SITES)}"
+        )
+    preset = SITES[site]
+    return seasonal_wetbulb(
+        winter_mean=preset.winter_mean,
+        summer_mean=preset.summer_mean,
+        diurnal_swing=preset.diurnal_swing,
+        duration=duration,
+        seed=seed,
+    )

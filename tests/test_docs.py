@@ -299,6 +299,47 @@ class TestControlDocument:
         assert "control.md" in (REPO / "docs" / "api.md").read_text()
 
 
+class TestCoolingPlantDocument:
+    def test_every_python_block_executes(self, tmp_path, monkeypatch):
+        run_document_blocks(
+            REPO / "docs" / "cooling_plant.md", tmp_path, monkeypatch
+        )
+
+    def test_documented_surface_exists(self):
+        from repro.experiments import weather as weather_exp
+        from repro.thermal import plant as plant_mod
+        from repro.workload import weather as weather_mod
+        from repro import obs
+
+        text = (REPO / "docs" / "cooling_plant.md").read_text()
+        for name in ("ChillerPlant", "COPCurve", "EconomizerConfig",
+                     "CoolingTowerConfig", "default_plant"):
+            assert name in text, name
+            assert hasattr(plant_mod, name), name
+        for name in ("diurnal_wetbulb", "seasonal_wetbulb", "heat_wave",
+                     "site_weather", "SITES"):
+            assert name in text, name
+            assert hasattr(weather_mod, name), name
+        assert "run_weather_study" in text
+        assert hasattr(weather_exp, "run_weather_study")
+        assert "validate_cooling_plant" in text
+        assert obs.validate_cooling_plant and obs.write_cooling_plant
+
+    def test_documented_sites_match_code(self):
+        from repro.workload.weather import SITES
+
+        text = (REPO / "docs" / "cooling_plant.md").read_text()
+        for site in SITES:
+            assert site in text, site
+        assert "repro weather" in text
+        assert "bench-check" in text
+        assert "plant-smoke" in text
+
+    def test_linked_from_readme_and_api(self):
+        assert "docs/cooling_plant.md" in (REPO / "README.md").read_text()
+        assert "cooling_plant.md" in (REPO / "docs" / "api.md").read_text()
+
+
 class TestReadmeTableOfContents:
     def test_links_every_docs_page(self):
         readme = (REPO / "README.md").read_text()

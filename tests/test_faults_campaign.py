@@ -160,6 +160,35 @@ class TestDeterminism:
                     ra.runs[name].fault_events
                 ) == events_to_jsonl(rb.runs[name].fault_events)
 
+    def test_campaign_immune_to_interleaved_cooler_state(
+        self, quick_campaign, faults_context
+    ):
+        """Regression: campaigns used to step the testbed's shared
+        cooler, so anything run in between (a workload replay, a manual
+        PI step) leaked integral state into the next campaign and broke
+        same-seed replay.  Scenario runners now simulate against
+        ``Testbed.fresh_cooler()``, so deliberately dirtying the shared
+        unit must not change a rerun by a single byte."""
+        results_a, doc_a = quick_campaign
+        cooler = faults_context.testbed.cooler
+        # Wind up the shared PI loop well away from its reset state.
+        for _ in range(50):
+            cooler.step(cooler.set_point + 5.0, dt=30.0)
+        try:
+            results_b, doc_b = run_campaign(
+                seed=2012, n_machines=6, quick=True, context=faults_context
+            )
+        finally:
+            cooler.reset()
+        assert json.dumps(doc_a, sort_keys=True) == json.dumps(
+            doc_b, sort_keys=True
+        )
+        for ra, rb in zip(results_a, results_b):
+            for name in CONTROLLERS:
+                assert events_to_jsonl(
+                    ra.runs[name].fault_events
+                ) == events_to_jsonl(rb.runs[name].fault_events)
+
     def test_all_controllers_replay_the_same_schedule(self, quick_campaign):
         results, _ = quick_campaign
         for result in results:

@@ -150,6 +150,35 @@ class TestSteadyStateModel:
         t_ac = unit.steady_supply_temperature(3000.0, t_return=298.0)
         assert t_ac == pytest.approx(298.0 - 3000.0 / (1.4 * units.C_AIR))
 
+    def test_supply_temperature_never_drops_below_coil_limit(self):
+        # Regression: steady_supply_temperature used to clamp only to
+        # q_max, so an extreme heat load at a return temperature close
+        # to t_ac_min quoted a supply temperature *below* the coil's
+        # physical floor.  The removable heat must saturate at the coil
+        # limit, pinning the supply air exactly at t_ac_min.
+        unit = make_unit()
+        t_return = unit.t_ac_min + 2.0
+        t_ac = unit.steady_supply_temperature(1e6, t_return=t_return)
+        assert t_ac == pytest.approx(unit.t_ac_min)
+        # Sweep a range of overloads: the floor is never violated.
+        for load in (5e3, 2e4, 1e5, 1e6):
+            assert unit.steady_supply_temperature(
+                load, t_return=t_return
+            ) >= unit.t_ac_min - 1e-9
+
+    def test_supply_temperature_matches_power_clamp(self):
+        # The same q feeds both steady-state views: the temperature drop
+        # implied by steady_supply_temperature must price out to
+        # steady_state_power for any load, saturated or not.
+        unit = make_unit()
+        for load in (500.0, 3000.0, 2.0e4, 1e6):
+            t_return = unit.t_ac_min + 2.0
+            t_ac = unit.steady_supply_temperature(load, t_return=t_return)
+            q = (t_return - t_ac) * unit.supply_flow * units.C_AIR
+            assert unit.steady_state_power(
+                load, t_return=t_return
+            ) == pytest.approx(q / unit.efficiency + unit.fan_power)
+
     def test_paper_equation_ten_consistency(self):
         # P_ac == c * f_ac * (T_SP - T_ac) with c = c_air/eta, up to the
         # constant blower term.
